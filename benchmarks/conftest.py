@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) on a reduced workload, so the whole suite
+stays laptop-scale.  The benchmark *timings* measure the experiment harness;
+the benchmark *extra_info* carries the reproduced numbers (H-means, RMSEs,
+F1/NMI scores) so `pytest benchmarks/ --benchmark-only` doubles as the
+reproduction run.  Scale the configs up (trials, ranks, dataset sizes) to
+approach the paper's settings.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

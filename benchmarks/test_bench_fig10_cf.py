@@ -1,0 +1,28 @@
+"""Benchmark E-fig10: Figure 10 — collaborative filtering with PMF / I-PMF / AI-PMF."""
+
+import numpy as np
+
+from repro.experiments import fig10_cf
+
+CONFIG = fig10_cf.Figure10Config(
+    n_users=150, n_items=300, n_categories=19, density=0.15,
+    ranks=(10, 40, 80), epochs=25, seed=71,
+)
+
+
+def test_bench_figure10_collaborative_filtering(benchmark):
+    """Regenerates Figure 10 and checks the AI-PMF vs I-PMF / PMF relationships."""
+    result = benchmark.pedantic(fig10_cf.run, args=(CONFIG,), rounds=1, iterations=1)
+    rows = result.as_dict_rows()
+    for row in rows:
+        benchmark.extra_info[f"rank{row['rank']}_PMF"] = round(row["PMF"], 4)
+        benchmark.extra_info[f"rank{row['rank']}_AI-PMF"] = round(row["AI-PMF"], 4)
+    # Paper claims: the interval-aware models beat plain PMF at the higher ranks,
+    # and AI-PMF tracks or beats I-PMF on average.
+    highest = rows[-1]
+    assert highest["AI-PMF"] <= highest["PMF"] + 0.02
+    mean_ipmf = np.mean([row["I-PMF"] for row in rows])
+    mean_aipmf = np.mean([row["AI-PMF"] for row in rows])
+    assert mean_aipmf <= mean_ipmf + 0.05
+    print()
+    print(result.to_text())

@@ -1,0 +1,40 @@
+"""Benchmark E-fig6: Figure 6 — accuracy overview and timing breakdown."""
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import fig6_overview
+
+CONFIG = fig6_overview.Figure6Config(
+    synthetic=SyntheticConfig(shape=(40, 120), rank=20), trials=2,
+    include_lp=True, targets=("a", "b", "c"),
+)
+
+
+def test_bench_figure6a_accuracy(benchmark):
+    """Regenerates Figure 6(a): H-mean accuracy of all method/target combinations."""
+    result = benchmark.pedantic(fig6_overview.run_accuracy, args=(CONFIG,),
+                                rounds=1, iterations=1)
+    scores = {row["method"]: row["H-mean"] for row in result.as_dict_rows()}
+    for label in ("ISVD0", "ISVD4-b", "ISVD1-b", "LP-b"):
+        benchmark.extra_info[label] = round(scores[label], 4)
+    # Paper shape: the option-b family dominates, ISVD4-b is at (or tied for) the
+    # top of it, and the LP competitor never wins.
+    best_b = max(scores[f"ISVD{i}-b"] for i in (1, 2, 3, 4))
+    assert scores["ISVD4-b"] >= best_b - 0.01
+    assert scores["ISVD4-b"] >= scores["ISVD0"] - 0.02
+    assert scores["LP-b"] <= scores["ISVD4-b"]
+    print()
+    print(result.to_text())
+
+
+def test_bench_figure6b_timing(benchmark):
+    """Regenerates Figure 6(b): execution time broken down by phase."""
+    result = benchmark.pedantic(fig6_overview.run_timings, args=(CONFIG,),
+                                rounds=1, iterations=1)
+    rows = result.as_dict_rows()
+    for row in rows:
+        benchmark.extra_info[f"{row['method']}_total_s"] = round(row["total"], 5)
+        # Alignment is a small fraction of total cost, as the paper reports.
+        if row["method"] != "ISVD0":
+            assert row["alignment"] <= max(row["total"], 1e-9)
+    print()
+    print(result.to_text(precision=5))

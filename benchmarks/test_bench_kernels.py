@@ -1,0 +1,32 @@
+"""Micro-benchmarks of the interval-algebra kernels underlying every experiment.
+
+These are not tied to a specific table/figure; they track the cost of the
+interval matrix product (which dominates ISVD2/3/4 and the target-a
+reconstruction) and of the full ISVD variants at the paper's default shape, so
+performance regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.core.isvd import isvd
+from repro.datasets.synthetic import SyntheticConfig, make_uniform_interval_matrix
+from repro.interval.linalg import interval_matmul
+
+MATRIX = make_uniform_interval_matrix(SyntheticConfig(shape=(40, 250), rank=20), rng=7)
+
+
+def test_bench_interval_matmul(benchmark):
+    """Interval Gram-matrix product M^T M at the paper's default shape."""
+    result = benchmark(interval_matmul, MATRIX.T, MATRIX)
+    assert result.shape == (250, 250)
+
+
+@pytest.mark.parametrize("method", ["isvd0", "isvd1", "isvd2", "isvd3", "isvd4"])
+def test_bench_isvd_methods(benchmark, method):
+    """End-to-end decomposition cost of each ISVD variant (default configuration)."""
+    target = "c" if method == "isvd0" else "b"
+    decomposition = benchmark.pedantic(
+        isvd, args=(MATRIX, 20), kwargs={"method": method, "target": target},
+        rounds=2, iterations=1,
+    )
+    assert decomposition.rank == 20

@@ -1,0 +1,36 @@
+"""Benchmark E-tab2: Tables 2(a)-(e) — option-b accuracy under parameter sweeps."""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import table2_sweeps
+
+CONFIG = table2_sweeps.Table2Config(
+    base=SyntheticConfig(shape=(40, 120), rank=20), trials=2, seed=23
+)
+
+_SUBTABLES = {
+    "a": ("interval density", table2_sweeps.run_interval_density),
+    "b": ("interval intensity", table2_sweeps.run_interval_intensity),
+    "c": ("matrix density", table2_sweeps.run_matrix_density),
+    "d": ("matrix configuration", table2_sweeps.run_matrix_configuration),
+    "e": ("target rank", table2_sweeps.run_target_rank),
+}
+
+
+@pytest.mark.parametrize("key", list(_SUBTABLES))
+def test_bench_table2(benchmark, key):
+    """Regenerates one Table 2 sub-table and records the ISVD4-b column."""
+    name, runner = _SUBTABLES[key]
+    result = benchmark.pedantic(runner, args=(CONFIG,), rounds=1, iterations=1)
+    rows = result.as_dict_rows()
+    for row in rows:
+        label = str(row[result.headers[0]])
+        benchmark.extra_info[f"ISVD4-b@{label}"] = round(row["ISVD4-b"], 4)
+        # Paper claim (Table 2): ISVD4-b provides the best accuracy of the
+        # option-b family in (essentially) every configuration.
+        family_best = max(row[column] for column in
+                          ("ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"))
+        assert row["ISVD4-b"] >= family_best - 0.02, f"{name}: {label}"
+    print()
+    print(result.to_text())

@@ -1,0 +1,49 @@
+"""Analyzing anonymized (generalized) data with interval-valued SVD.
+
+Run with ``python examples/anonymized_analysis.py``.
+
+Privacy-preserving publishing replaces precise values with generalization
+buckets (k-anonymity style recoding).  This example shows the workflow the
+paper motivates in Section 6.3.2:
+
+1. start from a precise data matrix that the analyst never sees;
+2. anonymize it at three privacy levels (high / medium / low mixtures of the
+   L1..L4 generalization levels);
+3. decompose the *anonymized interval matrix* with ISVD and measure how well
+   the published intervals are preserved by a low-rank model;
+4. show that the naive approach (average every interval, then SVD) loses
+   accuracy relative to the alignment-based ISVD4-b as anonymization grows.
+"""
+
+import numpy as np
+
+from repro import harmonic_mean_accuracy, isvd
+from repro.datasets.anonymized import PRIVACY_PROFILES, generalize_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # The "true" data the publisher holds: 60 individuals x 150 attributes.
+    true_data = rng.uniform(0.0, 1.0, size=(60, 150))
+
+    rank = 20
+    print(f"low-rank analysis of anonymized data (rank {rank})")
+    print(f"{'privacy':>8s}  {'mean width':>10s}  {'ISVD0':>7s}  {'ISVD1-b':>7s}  {'ISVD4-b':>7s}")
+    for profile_name in ("low", "medium", "high"):
+        profile = PRIVACY_PROFILES[profile_name]
+        published = generalize_matrix(true_data, profile, domain=(0.0, 1.0), rng=rng)
+
+        scores = {}
+        for method, target in (("isvd0", "c"), ("isvd1", "b"), ("isvd4", "b")):
+            decomposition = isvd(published, rank, method=method, target=target)
+            scores[method] = harmonic_mean_accuracy(published, decomposition)
+
+        print(f"{profile_name:>8s}  {published.mean_span():10.4f}  "
+              f"{scores['isvd0']:7.3f}  {scores['isvd1']:7.3f}  {scores['isvd4']:7.3f}")
+
+    print("\nInterpretation: the wider the published intervals (higher privacy), the")
+    print("bigger the advantage of the alignment-based ISVD4-b over the naive average.")
+
+
+if __name__ == "__main__":
+    main()

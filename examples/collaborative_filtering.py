@@ -1,0 +1,72 @@
+"""Collaborative filtering with interval-valued ratings (the paper's Section 6.5 workload).
+
+Run with ``python examples/collaborative_filtering.py``.
+
+Users rarely rate items with perfect confidence; the paper models that
+ambiguity by widening each rating into an interval whose radius reflects the
+spread of related ratings (same user or same item).  This example:
+
+1. generates a MovieLens-like rating matrix and holds out 20% of the ratings;
+2. builds the per-rating interval matrix from the training ratings;
+3. trains PMF (scalar baseline), I-PMF (interval baseline) and AI-PMF (the
+   paper's aligned interval model);
+4. reports held-out RMSE, plus a reconstruction-based prediction from ISVD on
+   the user-genre rating-range matrix.
+"""
+
+import numpy as np
+
+from repro import AIPMF, IPMF, IntervalMatrix, PMF, isvd
+from repro.datasets.ratings import (
+    RatingsDataset,
+    make_ratings_dataset,
+    rating_interval_matrix,
+    user_category_interval_matrix,
+)
+from repro.eval.cf import rating_prediction_rmse
+from repro.core.accuracy import harmonic_mean_accuracy
+
+
+def main() -> None:
+    dataset = make_ratings_dataset(preset="movielens", n_users=250, n_items=500,
+                                   density=0.15, seed=5)
+    train_mask, test_mask = dataset.holdout_split(test_fraction=0.2, rng=5)
+    print(f"{dataset.n_users} users x {dataset.n_items} movies, "
+          f"{int(dataset.observed_mask.sum())} ratings "
+          f"({int(test_mask.sum())} held out)\n")
+
+    train_ratings = dataset.ratings * train_mask
+    train_dataset = RatingsDataset(ratings=train_ratings,
+                                   item_categories=dataset.item_categories,
+                                   n_categories=dataset.n_categories)
+    interval_train = rating_interval_matrix(train_dataset, alpha=0.5)
+
+    rank = 40
+    kwargs = dict(rank=rank, learning_rate=0.005, reg_u=0.05, reg_v=0.05,
+                  epochs=30, batch_size=64, seed=5)
+
+    print(f"--- rating prediction RMSE at rank {rank} (lower is better) ---")
+    for name, model, data in (
+        ("PMF", PMF(**kwargs), train_ratings),
+        ("I-PMF", IPMF(**kwargs), interval_train),
+        ("AI-PMF", AIPMF(**kwargs), interval_train),
+    ):
+        model.fit(data, mask=train_mask)
+        score = rating_prediction_rmse(model, dataset.ratings, test_mask)
+        print(f"{name:>7s}: RMSE = {score:.3f}")
+
+    print("\n--- user-genre rating-range analysis (Figure 9 style) ---")
+    range_matrix = user_category_interval_matrix(dataset)
+    for rank_fraction in (1.0, 0.5):
+        r = max(1, int(round(dataset.n_categories * rank_fraction)))
+        decomposition = isvd(range_matrix, r, method="isvd4", target="b")
+        score = harmonic_mean_accuracy(range_matrix, decomposition)
+        print(f"rank {r:2d} ({rank_fraction:.0%} of full): H-mean accuracy = {score:.3f}")
+
+    print("\nInterpretation: the interval-aware models (I-PMF / AI-PMF) predict held-out")
+    print("ratings better than scalar PMF, and AI-PMF's alignment keeps the two endpoint")
+    print("latent spaces consistent — the paper's Figure 10 behaviour.")
+
+
+if __name__ == "__main__":
+    main()

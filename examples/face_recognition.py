@@ -1,0 +1,63 @@
+"""Face recognition with interval-valued features (the paper's Section 6.4 workload).
+
+Run with ``python examples/face_recognition.py``.
+
+The pipeline mirrors the ORL-face experiments:
+
+1. build an interval-valued image collection (each pixel's interval reflects
+   its local spatial variability, supplementary F.1);
+2. decompose the interval image matrix with ISVD;
+3. use the ``U x Sigma`` projections as features for
+   (a) 1-nearest-neighbour identification (interval Euclidean distance) and
+   (b) K-means clustering scored with NMI;
+4. compare against the NMF / I-NMF competitors.
+"""
+
+from repro.core.inmf import INMF, NMF
+from repro.datasets.faces import make_face_dataset
+from repro.eval.kmeans import kmeans_nmi
+from repro.eval.knn import nn_classification_f1
+from repro import isvd
+
+
+def main() -> None:
+    dataset = make_face_dataset(n_subjects=15, images_per_subject=8, resolution=24, seed=3)
+    train_idx, test_idx = dataset.train_test_split(train_fraction=0.5, rng=3)
+    rank = 20
+    print(f"{dataset.n_images} images of {dataset.n_subjects} people at "
+          f"{dataset.resolution}x{dataset.resolution}; rank {rank} features\n")
+
+    results = []
+
+    # --- interval SVD features: U x Sigma projections -----------------------
+    for method in ("isvd1", "isvd2", "isvd4"):
+        decomposition = isvd(dataset.intervals, rank, method=method, target="b")
+        features = decomposition.projection()
+        f1 = nn_classification_f1(
+            features[train_idx, :], dataset.labels[train_idx],
+            features[test_idx, :], dataset.labels[test_idx],
+        )
+        nmi = kmeans_nmi(features, dataset.labels, seed=3)
+        results.append((method.upper() + "-b", f1, nmi))
+
+    # --- NMF / I-NMF competitors: scalar U features --------------------------
+    nmf = NMF(rank=rank, max_iter=80, seed=3).fit(dataset.intervals)
+    f1 = nn_classification_f1(nmf.features()[train_idx], dataset.labels[train_idx],
+                              nmf.features()[test_idx], dataset.labels[test_idx])
+    results.append(("NMF", f1, kmeans_nmi(nmf.features(), dataset.labels, seed=3)))
+
+    inmf = INMF(rank=rank, max_iter=80, seed=3).fit(dataset.intervals.clip_nonnegative())
+    f1 = nn_classification_f1(inmf.features()[train_idx], dataset.labels[train_idx],
+                              inmf.features()[test_idx], dataset.labels[test_idx])
+    results.append(("I-NMF", f1, kmeans_nmi(inmf.features(), dataset.labels, seed=3)))
+
+    print(f"{'method':>8s}  {'1-NN F1':>8s}  {'K-means NMI':>11s}")
+    for name, f1, nmi in results:
+        print(f"{name:>8s}  {f1:8.3f}  {nmi:11.3f}")
+
+    print("\nInterpretation: the aligned interval features (ISVD1/2/4) identify people")
+    print("more reliably than the NMF-family features, as reported in the paper's Figure 8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: decompose an interval-valued matrix and measure reconstruction accuracy.
+
+Run with ``python examples/quickstart.py``.
+
+The script walks through the library's core loop:
+
+1. build an interval-valued matrix (here: a random matrix whose entries were
+   blurred into intervals, mimicking imprecise measurements);
+2. decompose it with each ISVD strategy and decomposition target;
+3. reconstruct and compare the harmonic-mean accuracy (the paper's Definition 5);
+4. inspect the aligned factors.
+"""
+
+import numpy as np
+
+from repro import IntervalMatrix, harmonic_mean_accuracy, isvd, reconstruct
+from repro.interval.random import intervalize
+
+
+def build_demo_matrix(seed: int = 0) -> IntervalMatrix:
+    """An 80 x 120 scalar matrix whose cells are widened into intervals."""
+    rng = np.random.default_rng(seed)
+    # A low-rank "signal" plus noise, so low-rank reconstruction is meaningful.
+    signal = rng.uniform(0, 1, size=(80, 6)) @ rng.uniform(0, 1, size=(6, 120))
+    noisy = signal + rng.normal(scale=0.05, size=signal.shape)
+    # Each cell becomes an interval of up to 50% of its magnitude.
+    return intervalize(np.clip(noisy, 0, None), interval_density=1.0,
+                       interval_intensity=0.5, rng=rng)
+
+
+def main() -> None:
+    matrix = build_demo_matrix()
+    print(f"input matrix: {matrix}")
+    print(f"mean interval width: {matrix.mean_span():.4f}\n")
+
+    rank = 10
+    print(f"--- decomposition accuracy at rank {rank} (higher is better) ---")
+    for method in ("isvd0", "isvd1", "isvd2", "isvd3", "isvd4"):
+        target = "c" if method == "isvd0" else "b"
+        decomposition = isvd(matrix, rank, method=method, target=target)
+        score = harmonic_mean_accuracy(matrix, decomposition)
+        total_time = sum(decomposition.timings.values())
+        print(f"{method.upper():6s} (target {target}): H-mean = {score:.3f}   "
+              f"[{total_time * 1000:.1f} ms]")
+
+    print("\n--- decomposition targets of ISVD4 ---")
+    for target in ("a", "b", "c"):
+        decomposition = isvd(matrix, rank, method="isvd4", target=target)
+        print(f"target {target}: {decomposition.describe()}")
+
+    print("\n--- reconstructing with the best method (ISVD4, target b) ---")
+    decomposition = isvd(matrix, rank, method="isvd4", target="b")
+    reconstruction = reconstruct(decomposition)
+    print(f"reconstruction: {reconstruction}")
+    singular_values = decomposition.singular_values()
+    top3 = [f"[{lo:.2f}, {hi:.2f}]"
+            for lo, hi in zip(singular_values.lower[:3], singular_values.upper[:3])]
+    print(f"singular value intervals (top 3): {', '.join(top3)}")
+    print(f"H-mean accuracy: {harmonic_mean_accuracy(matrix, reconstruction):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Matrix Factorization with Interval-Valued Data".
+
+The package provides:
+
+* :mod:`repro.interval` — interval algebra and interval-valued matrices;
+* :mod:`repro.core` — the paper's contribution: the ISVD0..ISVD4 interval
+  singular value decompositions, ILSA latent-semantic alignment, the
+  decomposition targets a/b/c, and the AI-PMF probabilistic model (with PMF,
+  I-PMF, NMF and I-NMF baselines);
+* :mod:`repro.baselines` — LP-based interval eigen-decomposition competitors
+  and interval PCA baselines;
+* :mod:`repro.datasets` — synthetic workloads matching the paper's data
+  generation protocols (uniform, anonymized, face-like, ratings-like);
+* :mod:`repro.eval` — metrics, classification, clustering and collaborative
+  filtering evaluation;
+* :mod:`repro.experiments` — one module per table/figure of the paper's
+  evaluation, regenerating the corresponding rows and series.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import IntervalMatrix, isvd, reconstruct, harmonic_mean_accuracy
+>>> rng = np.random.default_rng(0)
+>>> values = rng.uniform(0, 1, size=(20, 30))
+>>> matrix = IntervalMatrix(values - 0.05, values + 0.05)
+>>> decomposition = isvd(matrix, rank=5, method="isvd4", target="b")
+>>> round(harmonic_mean_accuracy(matrix, decomposition), 3) > 0
+True
+"""
+
+from repro.interval import Interval, IntervalMatrix
+from repro.core import (
+    AIPMF,
+    DecompositionTarget,
+    INMF,
+    IPMF,
+    ISVDMethod,
+    IntervalDecomposition,
+    NMF,
+    PMF,
+    harmonic_mean_accuracy,
+    ilsa,
+    isvd,
+    reconstruct,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interval",
+    "IntervalMatrix",
+    "DecompositionTarget",
+    "IntervalDecomposition",
+    "ISVDMethod",
+    "isvd",
+    "ilsa",
+    "reconstruct",
+    "harmonic_mean_accuracy",
+    "NMF",
+    "INMF",
+    "PMF",
+    "IPMF",
+    "AIPMF",
+    "__version__",
+]

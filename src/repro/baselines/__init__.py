@@ -1,0 +1,19 @@
+"""Competitor methods the paper compares against.
+
+* :mod:`repro.baselines.lp_eig` — the linear-programming / perturbation-bound
+  interval eigen-decomposition competitors ("LPa/LPb/LPc" in the paper),
+  following Deif (1991) and Seif, Hashem & Deif (1992).
+* :mod:`repro.baselines.interval_pca` — interval PCA baselines (centers and
+  midpoint-radius methods) used for ablation comparisons.
+"""
+
+from repro.baselines.lp_eig import lp_isvd, deif_eigenvalue_bounds, eigenvector_bounds
+from repro.baselines.interval_pca import CentersPCA, MidpointRadiusPCA
+
+__all__ = [
+    "lp_isvd",
+    "deif_eigenvalue_bounds",
+    "eigenvector_bounds",
+    "CentersPCA",
+    "MidpointRadiusPCA",
+]

@@ -1,0 +1,105 @@
+"""Interval PCA baselines (centers and midpoint-radius methods).
+
+The symbolic-data-analysis literature the paper reviews (Section 2.3) contains
+several PCA variants for interval-valued observations.  Two simple, widely
+used ones are implemented here as additional comparison points and for
+ablation benchmarks:
+
+* **Centers PCA** — PCA of the midpoint matrix; intervals only influence the
+  projection step, where each interval observation is projected to an interval
+  score using interval arithmetic.
+* **Midpoint–Radius PCA** — PCA of the midpoint matrix augmented with the
+  radius matrix (the "spread" information is appended as extra features), a
+  common way to let the spread influence the principal directions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import interval_matmul
+
+
+class _BasePCA:
+    """Shared scaffolding for the interval PCA baselines."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    def _fit_scalar(self, data: np.ndarray) -> None:
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k, :]
+        denominator = max(data.shape[0] - 1, 1)
+        self.explained_variance_ = (singular_values[:k] ** 2) / denominator
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("call fit() before transforming data")
+
+
+class CentersPCA(_BasePCA):
+    """PCA of the interval midpoints, with interval-valued projections."""
+
+    def fit(self, matrix: IntervalMatrix) -> "CentersPCA":
+        """Fit principal directions on the midpoint matrix."""
+        matrix = IntervalMatrix.coerce(matrix)
+        self._fit_scalar(matrix.midpoint())
+        return self
+
+    def transform(self, matrix: IntervalMatrix) -> IntervalMatrix:
+        """Project interval rows onto the principal directions with interval algebra."""
+        self._check_fitted()
+        matrix = IntervalMatrix.coerce(matrix)
+        centered = matrix - IntervalMatrix.from_scalar(
+            np.broadcast_to(self.mean_, matrix.shape).copy()
+        )
+        return interval_matmul(centered, self.components_.T)
+
+    def fit_transform(self, matrix: IntervalMatrix) -> IntervalMatrix:
+        """Convenience: fit on the matrix, then project it."""
+        return self.fit(matrix).transform(matrix)
+
+
+class MidpointRadiusPCA(_BasePCA):
+    """PCA of midpoints stacked with radii, with interval-valued projections.
+
+    The radius block lets the principal directions react to how *imprecise*
+    each feature is, not only to where its midpoint lies.
+    """
+
+    def fit(self, matrix: IntervalMatrix) -> "MidpointRadiusPCA":
+        """Fit principal directions on the ``[midpoint | radius]`` feature matrix."""
+        matrix = IntervalMatrix.coerce(matrix)
+        features = np.hstack([matrix.midpoint(), matrix.radius()])
+        self._fit_scalar(features)
+        return self
+
+    def transform(self, matrix: IntervalMatrix) -> IntervalMatrix:
+        """Project interval rows; the radius block is treated as scalar features."""
+        self._check_fitted()
+        matrix = IntervalMatrix.coerce(matrix)
+        midpoint_block = IntervalMatrix(matrix.lower, matrix.upper, check=False)
+        radius_block = IntervalMatrix.from_scalar(matrix.radius())
+        stacked = IntervalMatrix(
+            np.hstack([midpoint_block.lower, radius_block.lower]),
+            np.hstack([midpoint_block.upper, radius_block.upper]),
+            check=False,
+        )
+        mean = np.broadcast_to(self.mean_, stacked.shape).copy()
+        centered = stacked - IntervalMatrix.from_scalar(mean)
+        return interval_matmul(centered, self.components_.T)
+
+    def fit_transform(self, matrix: IntervalMatrix) -> IntervalMatrix:
+        """Convenience: fit on the matrix, then project it."""
+        return self.fit(matrix).transform(matrix)

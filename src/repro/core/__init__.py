@@ -1,0 +1,46 @@
+"""Core contribution of the paper: interval-valued matrix factorization.
+
+The public entry points are:
+
+* :func:`repro.core.isvd.isvd` / the :class:`repro.core.isvd.ISVDMethod` enum —
+  the ISVD0..ISVD4 family of interval singular value decompositions.
+* :func:`repro.core.ilsa.ilsa` — interval-valued latent semantic alignment.
+* :class:`repro.core.ipmf.PMF` / :class:`repro.core.ipmf.IPMF` /
+  :class:`repro.core.ipmf.AIPMF` — probabilistic factorization models.
+* :class:`repro.core.inmf.NMF` / :class:`repro.core.inmf.INMF` — the
+  non-negative factorization baselines.
+* :func:`repro.core.reconstruct.reconstruct` and
+  :func:`repro.core.accuracy.harmonic_mean_accuracy` — reconstruction and the
+  paper's accuracy measure (Definition 5).
+"""
+
+from repro.core.result import DecompositionTarget, IntervalDecomposition
+from repro.core.ilsa import AlignmentResult, ilsa
+from repro.core.isvd import ISVDMethod, isvd
+from repro.core.reconstruct import reconstruct
+from repro.core.accuracy import (
+    harmonic_mean_accuracy,
+    reconstruction_accuracy,
+    relative_error,
+)
+from repro.core.inmf import NMF, INMF, AINMF
+from repro.core.ipmf import PMF, IPMF, AIPMF
+
+__all__ = [
+    "DecompositionTarget",
+    "IntervalDecomposition",
+    "AlignmentResult",
+    "ilsa",
+    "ISVDMethod",
+    "isvd",
+    "reconstruct",
+    "harmonic_mean_accuracy",
+    "reconstruction_accuracy",
+    "relative_error",
+    "NMF",
+    "INMF",
+    "AINMF",
+    "PMF",
+    "IPMF",
+    "AIPMF",
+]

@@ -1,0 +1,259 @@
+"""Probabilistic matrix factorization models: PMF, I-PMF and AI-PMF.
+
+* :class:`PMF` — classic probabilistic matrix factorization (Salakhutdinov &
+  Mnih) fit by mini-batch gradient descent on the regularized squared loss.
+* :class:`IPMF` — the interval-valued extension of Shen et al. used as a
+  baseline in the paper (Section 5): a shared scalar ``U`` with separate
+  ``V_lo`` / ``V_hi`` factors for the interval endpoints.
+* :class:`AIPMF` — the paper's contribution: I-PMF with the ILSA latent
+  alignment applied to ``(V_lo, V_hi)`` during training (supplementary
+  Algorithm 15), so the two endpoint latent spaces describe the same concepts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.ilsa import ilsa
+from repro.core.result import FactorizationHistory
+from repro.interval.array import IntervalMatrix
+
+
+def _observed_mask(matrix: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+    """Default observation mask: non-zero cells when no explicit mask is given."""
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != matrix.shape:
+            raise ValueError("mask shape must match the rating matrix")
+        return mask
+    return matrix != 0.0
+
+
+class PMF:
+    """Probabilistic matrix factorization via mini-batch gradient descent.
+
+    Parameters
+    ----------
+    rank:
+        Latent dimensionality.
+    learning_rate:
+        Gradient-descent step size.
+    reg_u, reg_v:
+        L2 regularization weights (``lambda_U``, ``lambda_V`` in the paper).
+    epochs:
+        Number of passes over the observed entries.
+    batch_size:
+        Number of rows per mini-batch (``None`` = full batch).
+    seed:
+        Seed for factor initialization and batch shuffling.
+    center:
+        When True (default), the global mean of the observed training ratings
+        is subtracted before fitting and added back at prediction time — the
+        standard bias handling for star-rating matrices.
+    """
+
+    def __init__(self, rank: int, learning_rate: float = 0.01, reg_u: float = 0.05,
+                 reg_v: float = 0.05, epochs: int = 50, batch_size: Optional[int] = None,
+                 seed: Optional[int] = None, center: bool = True):
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.rank = rank
+        self.learning_rate = learning_rate
+        self.reg_u = reg_u
+        self.reg_v = reg_v
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.center = center
+        self.global_mean = 0.0
+        self.u: Optional[np.ndarray] = None
+        self.v: Optional[np.ndarray] = None
+        self.history = FactorizationHistory()
+
+    # ------------------------------------------------------------------ #
+    def _initialize(self, n: int, m: int, rng: np.random.Generator) -> None:
+        scale = 0.1
+        self.u = rng.normal(scale=scale, size=(n, self.rank))
+        self.v = rng.normal(scale=scale, size=(m, self.rank))
+
+    def _batches(self, n: int, rng: np.random.Generator):
+        indices = rng.permutation(n)
+        size = self.batch_size or n
+        for start in range(0, n, size):
+            yield indices[start:start + size]
+
+    def fit(self, matrix: np.ndarray, mask: Optional[np.ndarray] = None) -> "PMF":
+        """Fit the model to the observed entries of a scalar rating matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        observed = _observed_mask(matrix, mask)
+        if self.center and observed.any():
+            self.global_mean = float(matrix[observed].mean())
+        matrix = np.where(observed, matrix - self.global_mean, 0.0)
+        n, m = matrix.shape
+        rng = np.random.default_rng(self.seed)
+        self._initialize(n, m, rng)
+
+        for _ in range(self.epochs):
+            for rows in self._batches(n, rng):
+                block = matrix[rows]
+                block_mask = observed[rows]
+                error = (self.u[rows] @ self.v.T - block) * block_mask
+                grad_u = error @ self.v + self.reg_u * self.u[rows]
+                grad_v = error.T @ self.u[rows] + self.reg_v * self.v
+                self.u[rows] -= self.learning_rate * grad_u
+                self.v -= self.learning_rate * grad_v
+            self.history.record(self._loss(matrix, observed))
+        return self
+
+    def _loss(self, matrix: np.ndarray, observed: np.ndarray) -> float:
+        error = (self.u @ self.v.T - matrix) * observed
+        return float(
+            np.sum(error**2)
+            + self.reg_u * np.sum(self.u**2)
+            + self.reg_v * np.sum(self.v**2)
+        )
+
+    def predict(self) -> np.ndarray:
+        """Full predicted rating matrix ``U V^T`` (plus the global mean, if centered)."""
+        self._check_fitted()
+        return self.u @ self.v.T + self.global_mean
+
+    def _check_fitted(self) -> None:
+        if self.u is None or self.v is None:
+            raise RuntimeError("call fit() before predicting")
+
+
+class IPMF:
+    """Interval-valued PMF (I-PMF): shared scalar ``U``, interval factor ``V``.
+
+    Minimizes ``||M_lo - U V_lo^T||^2 + ||M_hi - U V_hi^T||^2`` (on observed
+    cells) plus L2 regularization, by mini-batch gradient descent with the
+    partial derivatives given in Section 5 of the paper.
+    """
+
+    align_during_training = False
+    method_name = "I-PMF"
+
+    def __init__(self, rank: int, learning_rate: float = 0.01, reg_u: float = 0.05,
+                 reg_v: float = 0.05, epochs: int = 50, batch_size: Optional[int] = None,
+                 seed: Optional[int] = None, align_method: str = "hungarian",
+                 center: bool = True):
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.rank = rank
+        self.learning_rate = learning_rate
+        self.reg_u = reg_u
+        self.reg_v = reg_v
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.align_method = align_method
+        self.center = center
+        self.global_mean = 0.0
+        self.u: Optional[np.ndarray] = None
+        self.v_lower: Optional[np.ndarray] = None
+        self.v_upper: Optional[np.ndarray] = None
+        self.history = FactorizationHistory()
+
+    # ------------------------------------------------------------------ #
+    def _initialize(self, n: int, m: int, rng: np.random.Generator) -> None:
+        scale = 0.1
+        self.u = rng.normal(scale=scale, size=(n, self.rank))
+        self.v_lower = rng.normal(scale=scale, size=(m, self.rank))
+        self.v_upper = rng.normal(scale=scale, size=(m, self.rank))
+
+    def _batches(self, n: int, rng: np.random.Generator):
+        indices = rng.permutation(n)
+        size = self.batch_size or n
+        for start in range(0, n, size):
+            yield indices[start:start + size]
+
+    def fit(self, matrix: Union[IntervalMatrix, np.ndarray],
+            mask: Optional[np.ndarray] = None) -> "IPMF":
+        """Fit the model to the observed entries of an interval rating matrix."""
+        matrix = IntervalMatrix.coerce(matrix)
+        observed = _observed_mask(matrix.midpoint(), mask)
+        if self.center and observed.any():
+            self.global_mean = float(matrix.midpoint()[observed].mean())
+        lower = np.where(observed, matrix.lower - self.global_mean, 0.0)
+        upper = np.where(observed, matrix.upper - self.global_mean, 0.0)
+        n, m = matrix.shape
+        rng = np.random.default_rng(self.seed)
+        self._initialize(n, m, rng)
+
+        for _ in range(self.epochs):
+            for rows in self._batches(n, rng):
+                row_mask = observed[rows]
+                error_lo = (self.u[rows] @ self.v_lower.T - lower[rows]) * row_mask
+                error_hi = (self.u[rows] @ self.v_upper.T - upper[rows]) * row_mask
+
+                grad_u = error_lo @ self.v_lower + error_hi @ self.v_upper \
+                    + self.reg_u * self.u[rows]
+                grad_v_lo = error_lo.T @ self.u[rows] + self.reg_v * self.v_lower
+                grad_v_hi = error_hi.T @ self.u[rows] + self.reg_v * self.v_upper
+
+                self.u[rows] -= self.learning_rate * grad_u
+                self.v_lower -= self.learning_rate * grad_v_lo
+                self.v_upper -= self.learning_rate * grad_v_hi
+
+            if self.align_during_training:
+                self._align_latent_factors()
+            self.history.record(self._loss(lower, upper, observed))
+
+        if self.align_during_training:
+            # Final alignment so the reported factors are semantically paired
+            # (supplementary Algorithm 15 performs this step after training).
+            self._align_latent_factors()
+        return self
+
+    def _align_latent_factors(self) -> None:
+        alignment = ilsa(self.v_lower, self.v_upper, method=self.align_method)
+        self.v_lower = alignment.apply_to_columns(self.v_lower, flip_signs=True)
+
+    def _loss(self, lower: np.ndarray, upper: np.ndarray, observed: np.ndarray) -> float:
+        error_lo = (self.u @ self.v_lower.T - lower) * observed
+        error_hi = (self.u @ self.v_upper.T - upper) * observed
+        return float(
+            np.sum(error_lo**2) + np.sum(error_hi**2)
+            + self.reg_u * np.sum(self.u**2)
+            + self.reg_v * (np.sum(self.v_lower**2) + np.sum(self.v_upper**2))
+        )
+
+    # ------------------------------------------------------------------ #
+    def predict_interval(self) -> IntervalMatrix:
+        """Interval predictions ``[U V_lo^T, U V_hi^T]`` with ordering fixed."""
+        self._check_fitted()
+        lower = self.u @ self.v_lower.T + self.global_mean
+        upper = self.u @ self.v_upper.T + self.global_mean
+        return IntervalMatrix(np.minimum(lower, upper), np.maximum(lower, upper))
+
+    def predict(self) -> np.ndarray:
+        """Scalar (midpoint) predictions used for rating prediction RMSE."""
+        return self.predict_interval().midpoint()
+
+    def _check_fitted(self) -> None:
+        if self.u is None or self.v_lower is None or self.v_upper is None:
+            raise RuntimeError("call fit() before predicting")
+
+
+class AIPMF(IPMF):
+    """Aligned interval PMF (AI-PMF): I-PMF + per-epoch ILSA alignment.
+
+    This is the paper's proposed probabilistic model (Section 5).  The latent
+    min/max factors are re-paired and sign-corrected with ILSA as training
+    proceeds, which the paper shows improves rating-prediction accuracy over
+    plain I-PMF.
+    """
+
+    align_during_training = True
+    method_name = "AI-PMF"

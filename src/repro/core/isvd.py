@@ -1,0 +1,405 @@
+"""The ISVD family: singular value decomposition of interval-valued matrices.
+
+Implements the five strategies of Section 4 (and supplementary Algorithms 7-11):
+
+========  =============================================  ==========================
+Method    Strategy                                       Distinguishing step
+========  =============================================  ==========================
+ISVD0     Average and decompose                          plain SVD of the midpoint
+ISVD1     Decompose and align                            SVD of M_lo and M_hi, then ILSA
+ISVD2     Decompose, solve, align                        eigen-decomposition of M^T M
+                                                          (interval product), recover U,
+                                                          then ILSA
+ISVD3     Decompose, align, solve                        ILSA first, then U recovered by
+                                                          interval algebra through the
+                                                          (pseudo-)inverse of V_avg
+ISVD4     Decompose, align, solve, recompute             as ISVD3, plus a final
+                                                          recomputation of V from U
+========  =============================================  ==========================
+
+Every method (except ISVD0, which is inherently scalar and therefore only
+supports decomposition target ``c``) can emit any of the three decomposition
+targets of Section 3.4.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.ilsa import AlignmentResult, align_factor_set, ilsa
+from repro.core.result import DecompositionTarget, IntervalDecomposition
+from repro.core.targets import build_decomposition
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import (
+    DEFAULT_CONDITION_THRESHOLD,
+    interval_matmul,
+    inverse_core,
+    safe_inverse,
+)
+
+
+class ISVDError(ValueError):
+    """Raised for invalid ISVD configurations."""
+
+
+class ISVDMethod(str, Enum):
+    """The five interval-SVD strategies of the paper."""
+
+    ISVD0 = "isvd0"
+    ISVD1 = "isvd1"
+    ISVD2 = "isvd2"
+    ISVD3 = "isvd3"
+    ISVD4 = "isvd4"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "ISVDMethod"]) -> "ISVDMethod":
+        """Accept enum members or case-insensitive strings like ``"ISVD4"``."""
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+    @property
+    def display_name(self) -> str:
+        """Upper-case name used in reports (e.g. ``ISVD3``)."""
+        return self.value.upper()
+
+
+def truncated_svd(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``r`` SVD returning ``(U, singular_values, V)`` with ``V`` of shape ``m x r``."""
+    matrix = np.asarray(matrix, dtype=float)
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    rank = min(rank, s.shape[0])
+    return u[:, :rank], s[:rank], vt[:rank, :].T
+
+
+def truncated_eigh(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``r`` eigen-decomposition of a symmetric matrix.
+
+    Returns ``(V, sqrt_eigenvalues)`` where negative eigenvalues (which can
+    appear for the endpoint matrices of an interval product) are clipped to
+    zero before the square root, as the singular values of the interval SVD
+    must be non-negative.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    matrix = 0.5 * (matrix + matrix.T)  # guard against asymmetry from round-off
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    order = np.argsort(eigenvalues)[::-1]
+    rank = min(rank, eigenvalues.shape[0])
+    top = order[:rank]
+    values = np.clip(eigenvalues[top], 0.0, None)
+    return eigenvectors[:, top], np.sqrt(values)
+
+
+def _validate_inputs(matrix: IntervalMatrix, rank: int) -> None:
+    if matrix.ndim != 2:
+        raise ISVDError("ISVD expects a 2-D interval matrix")
+    n, m = matrix.shape
+    if rank < 1 or rank > min(n, m):
+        raise ISVDError(f"rank must be in [1, min(n, m)={min(n, m)}], got {rank}")
+
+
+# --------------------------------------------------------------------------- #
+# ISVD0 — average and decompose
+# --------------------------------------------------------------------------- #
+def isvd0(matrix: IntervalMatrix, rank: int) -> IntervalDecomposition:
+    """Naive baseline: SVD of the midpoint matrix (Section 4.1, Algorithm 7).
+
+    The result is always a target-``c`` (all scalar) decomposition.
+    """
+    matrix = IntervalMatrix.coerce(matrix)
+    _validate_inputs(matrix, rank)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    averaged = matrix.midpoint()
+    timings["preprocessing"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    u, s, v = truncated_svd(averaged, rank)
+    timings["decomposition"] = time.perf_counter() - start
+    timings["alignment"] = 0.0
+    timings["recomposition"] = 0.0
+
+    return IntervalDecomposition(
+        u=u, sigma=np.diag(s), v=v,
+        target=DecompositionTarget.C, method="ISVD0", rank=rank, timings=timings,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ISVD1 — decompose and align
+# --------------------------------------------------------------------------- #
+def isvd1(
+    matrix: IntervalMatrix,
+    rank: int,
+    target: Union[str, DecompositionTarget] = DecompositionTarget.B,
+    align_method: str = "hungarian",
+) -> IntervalDecomposition:
+    """Decompose the min and max matrices independently, then align (Alg. 8)."""
+    matrix = IntervalMatrix.coerce(matrix)
+    _validate_inputs(matrix, rank)
+    timings: Dict[str, float] = {"preprocessing": 0.0}
+
+    start = time.perf_counter()
+    u_lo, s_lo, v_lo = truncated_svd(matrix.lower, rank)
+    u_hi, s_hi, v_hi = truncated_svd(matrix.upper, rank)
+    timings["decomposition"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    alignment = ilsa(v_lo, v_hi, method=align_method)
+    u_lo, s_lo_mat, v_lo = align_factor_set(alignment, u_lo, np.diag(s_lo), v_lo)
+    timings["alignment"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    decomposition = build_decomposition(
+        u_lo, s_lo_mat, v_lo, u_hi, np.diag(s_hi), v_hi,
+        target=target, method="ISVD1", rank=rank, timings=timings,
+        metadata={"alignment": alignment},
+    )
+    decomposition.timings["recomposition"] = time.perf_counter() - start
+    return decomposition
+
+
+# --------------------------------------------------------------------------- #
+# Shared eigen-decomposition step for ISVD2/3/4
+# --------------------------------------------------------------------------- #
+def _gram_eigendecompositions(
+    matrix: IntervalMatrix, rank: int
+) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Eigen-decompose the interval Gram matrix ``A = M^T M`` (Section 4.3.1).
+
+    Returns ``(A, V_lo, sigma_lo, V_hi, sigma_hi)`` where the sigma vectors are
+    the square roots of the top-``r`` eigenvalues of ``A_lo`` and ``A_hi``.
+    """
+    gram = interval_matmul(matrix.T, matrix)
+    v_lo, s_lo = truncated_eigh(gram.lower, rank)
+    v_hi, s_hi = truncated_eigh(gram.upper, rank)
+    return gram, v_lo, s_lo, v_hi, s_hi
+
+
+def _recover_u_from_v(matrix: np.ndarray, v: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Recover left singular vectors via ``U = M (V^T)^+ Sigma^{-1}`` (Section 4.3.2)."""
+    s = np.asarray(s, dtype=float)
+    s_inv = np.where(s > 0.0, 1.0 / np.where(s > 0.0, s, 1.0), 0.0)
+    return matrix @ np.linalg.pinv(v.T) @ np.diag(s_inv)
+
+
+# --------------------------------------------------------------------------- #
+# ISVD2 — decompose, solve, align
+# --------------------------------------------------------------------------- #
+def isvd2(
+    matrix: IntervalMatrix,
+    rank: int,
+    target: Union[str, DecompositionTarget] = DecompositionTarget.B,
+    align_method: str = "hungarian",
+) -> IntervalDecomposition:
+    """Eigen-decompose the interval Gram matrix, solve for U, then align (Alg. 9)."""
+    matrix = IntervalMatrix.coerce(matrix)
+    _validate_inputs(matrix, rank)
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank)
+    timings["preprocessing"] = 0.0
+    timings["decomposition"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    u_lo = _recover_u_from_v(matrix.lower, v_lo, s_lo)
+    u_hi = _recover_u_from_v(matrix.upper, v_hi, s_hi)
+    timings["decomposition"] += time.perf_counter() - start
+
+    start = time.perf_counter()
+    alignment = ilsa(v_lo, v_hi, method=align_method)
+    u_lo, s_lo_mat, v_lo = align_factor_set(alignment, u_lo, np.diag(s_lo), v_lo)
+    timings["alignment"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    decomposition = build_decomposition(
+        u_lo, s_lo_mat, v_lo, u_hi, np.diag(s_hi), v_hi,
+        target=target, method="ISVD2", rank=rank, timings=timings,
+        metadata={"alignment": alignment},
+    )
+    decomposition.timings["recomposition"] = time.perf_counter() - start
+    return decomposition
+
+
+# --------------------------------------------------------------------------- #
+# ISVD3 — decompose, align, solve
+# --------------------------------------------------------------------------- #
+def _aligned_gram_factors(
+    matrix: IntervalMatrix, rank: int, align_method: str
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, AlignmentResult, Dict[str, float]]:
+    """Shared first phase of ISVD3/ISVD4: eigen-decompose, then align V and Sigma."""
+    timings: Dict[str, float] = {"preprocessing": 0.0}
+
+    start = time.perf_counter()
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank)
+    timings["decomposition"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    alignment = ilsa(v_lo, v_hi, method=align_method)
+    v_lo = alignment.apply_to_columns(v_lo, flip_signs=True)
+    s_lo = alignment.apply_to_diagonal(s_lo)
+    timings["alignment"] = time.perf_counter() - start
+    return v_lo, s_lo, v_hi, s_hi, alignment, timings
+
+
+def _solve_interval_u(
+    matrix: IntervalMatrix,
+    v_lo: np.ndarray,
+    s_lo: np.ndarray,
+    v_hi: np.ndarray,
+    s_hi: np.ndarray,
+    condition_threshold: float,
+) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray]:
+    """Recover interval-valued U via ``U = M (V^T)^{-1} Sigma^{-1}`` (Section 4.4.2).
+
+    Returns ``(U_interval, v_t_inverse, core_inverse)`` so ISVD4 can reuse the
+    inverses for the V-recomputation step.
+    """
+    v_avg = 0.5 * (v_lo + v_hi)
+    v_t_inverse = safe_inverse(v_avg.T, condition_threshold=condition_threshold)
+    core = IntervalMatrix(
+        np.diag(np.minimum(s_lo, s_hi)), np.diag(np.maximum(s_lo, s_hi)), check=False
+    )
+    core_inverse = inverse_core(core)
+    u_interval = interval_matmul(matrix, v_t_inverse @ core_inverse)
+    return u_interval, v_t_inverse, core_inverse
+
+
+def isvd3(
+    matrix: IntervalMatrix,
+    rank: int,
+    target: Union[str, DecompositionTarget] = DecompositionTarget.B,
+    align_method: str = "hungarian",
+    condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+) -> IntervalDecomposition:
+    """Align the right factors first, then solve for U with interval algebra (Alg. 10)."""
+    matrix = IntervalMatrix.coerce(matrix)
+    _validate_inputs(matrix, rank)
+
+    v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
+        matrix, rank, align_method
+    )
+
+    start = time.perf_counter()
+    u_interval, _, _ = _solve_interval_u(
+        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold
+    )
+    timings["decomposition"] += time.perf_counter() - start
+
+    start = time.perf_counter()
+    decomposition = build_decomposition(
+        u_interval.lower, np.diag(s_lo), v_lo,
+        u_interval.upper, np.diag(s_hi), v_hi,
+        target=target, method="ISVD3", rank=rank, timings=timings,
+        metadata={"alignment": alignment},
+    )
+    decomposition.timings["recomposition"] = time.perf_counter() - start
+    return decomposition
+
+
+# --------------------------------------------------------------------------- #
+# ISVD4 — decompose, align, solve, recompute
+# --------------------------------------------------------------------------- #
+def isvd4(
+    matrix: IntervalMatrix,
+    rank: int,
+    target: Union[str, DecompositionTarget] = DecompositionTarget.B,
+    align_method: str = "hungarian",
+    condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+) -> IntervalDecomposition:
+    """ISVD3 plus a final recomputation of V from the recovered U (Alg. 11).
+
+    The recomputation ``V = (Sigma^{-1} U^{-1} M)^T`` tightens the interval
+    factor V because U inherits the alignment's precision (Section 4.5).
+    """
+    matrix = IntervalMatrix.coerce(matrix)
+    _validate_inputs(matrix, rank)
+
+    v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
+        matrix, rank, align_method
+    )
+
+    start = time.perf_counter()
+    u_interval, _, core_inverse = _solve_interval_u(
+        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold
+    )
+
+    u_avg = u_interval.midpoint()
+    u_inverse = safe_inverse(u_avg, condition_threshold=condition_threshold)
+    v_interval = interval_matmul(core_inverse @ u_inverse, matrix).T
+    timings["decomposition"] += time.perf_counter() - start
+
+    start = time.perf_counter()
+    decomposition = build_decomposition(
+        u_interval.lower, np.diag(s_lo), v_interval.lower,
+        u_interval.upper, np.diag(s_hi), v_interval.upper,
+        target=target, method="ISVD4", rank=rank, timings=timings,
+        metadata={"alignment": alignment},
+    )
+    decomposition.timings["recomposition"] = time.perf_counter() - start
+    return decomposition
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+def isvd(
+    matrix: Union[IntervalMatrix, np.ndarray],
+    rank: int,
+    method: Union[str, ISVDMethod] = ISVDMethod.ISVD4,
+    target: Union[str, DecompositionTarget] = DecompositionTarget.B,
+    align_method: str = "hungarian",
+    condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+) -> IntervalDecomposition:
+    """Decompose an interval-valued matrix with the requested ISVD strategy.
+
+    Parameters
+    ----------
+    matrix:
+        Interval matrix (or scalar ndarray, treated as degenerate intervals).
+    rank:
+        Target rank ``r <= min(n, m)``.
+    method:
+        One of :class:`ISVDMethod` (or its string name).  Default: ISVD4, the
+        paper's best-performing strategy.
+    target:
+        Decomposition target ``a`` / ``b`` / ``c`` (Section 3.4).  ISVD0
+        supports only ``c``.
+    align_method:
+        ``"hungarian"`` (optimal) or ``"greedy"`` ILSA assignment.
+    condition_threshold:
+        Condition number above which ISVD3/ISVD4 switch to the truncated
+        pseudo-inverse (Section 4.4.2.2).
+
+    Returns
+    -------
+    IntervalDecomposition
+        Factors per the requested target, with per-phase timings attached.
+    """
+    method = ISVDMethod.coerce(method)
+    target = DecompositionTarget.coerce(target)
+    matrix = IntervalMatrix.coerce(matrix)
+
+    if method is ISVDMethod.ISVD0:
+        if target is not DecompositionTarget.C:
+            raise ISVDError("ISVD0 produces scalar factors only (decomposition target 'c')")
+        return isvd0(matrix, rank)
+    if method is ISVDMethod.ISVD1:
+        return isvd1(matrix, rank, target=target, align_method=align_method)
+    if method is ISVDMethod.ISVD2:
+        return isvd2(matrix, rank, target=target, align_method=align_method)
+    if method is ISVDMethod.ISVD3:
+        return isvd3(
+            matrix, rank, target=target, align_method=align_method,
+            condition_threshold=condition_threshold,
+        )
+    return isvd4(
+        matrix, rank, target=target, align_method=align_method,
+        condition_threshold=condition_threshold,
+    )

@@ -1,0 +1,168 @@
+"""Anonymized interval data via value generalization (paper Section 6.1.1).
+
+Privacy-preserving publishing replaces precise scalar values with coarser
+*generalization intervals* (k-anonymity style recoding).  The paper simulates
+this by partitioning the value domain into a number of equal-width buckets per
+generalization level and replacing each value by its bucket:
+
+* L1 — 100 buckets (fine, low anonymization)
+* L2 — 50 buckets
+* L3 — 20 buckets
+* L4 — 5 buckets (coarse, high anonymization)
+
+A *privacy profile* mixes the four levels over the cells of the matrix; the
+paper's three profiles (high / medium / low privacy) are provided as presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import SeedLike, default_rng
+
+#: Number of equal-width generalization buckets per level (paper Section 6.1.1).
+GENERALIZATION_LEVELS: Dict[str, int] = {"L1": 100, "L2": 50, "L3": 20, "L4": 5}
+
+
+@dataclass(frozen=True)
+class AnonymizationProfile:
+    """A mixture of generalization levels applied across matrix cells.
+
+    ``weights`` maps level names (L1..L4) to the fraction of cells anonymized
+    at that level; the fractions must sum to 1.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(GENERALIZATION_LEVELS)
+        if unknown:
+            raise ValueError(f"unknown generalization levels: {sorted(unknown)}")
+        total = float(sum(self.weights.values()))
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"profile weights must sum to 1, got {total}")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("profile weights must be non-negative")
+
+    def level_fractions(self) -> Tuple[Tuple[str, float], ...]:
+        """Deterministically ordered (level, fraction) pairs."""
+        return tuple((level, float(self.weights.get(level, 0.0)))
+                     for level in GENERALIZATION_LEVELS)
+
+
+#: The paper's three anonymization mixtures.
+PRIVACY_PROFILES: Dict[str, AnonymizationProfile] = {
+    "high": AnonymizationProfile(
+        "high", {"L1": 0.10, "L2": 0.20, "L3": 0.30, "L4": 0.40}
+    ),
+    "medium": AnonymizationProfile(
+        "medium", {"L1": 0.25, "L2": 0.25, "L3": 0.25, "L4": 0.25}
+    ),
+    "low": AnonymizationProfile(
+        "low", {"L1": 0.40, "L2": 0.30, "L3": 0.20, "L4": 0.10}
+    ),
+}
+
+
+def generalization_interval(
+    value: float, buckets: int, domain: Tuple[float, float]
+) -> Tuple[float, float]:
+    """The generalization interval (bucket) containing ``value``.
+
+    The domain is split into ``buckets`` equal-width intervals; the value is
+    replaced by the closed interval of the bucket it falls into.
+    """
+    low, high = domain
+    if high <= low:
+        raise ValueError(f"invalid domain: {domain}")
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    width = (high - low) / buckets
+    index = int(np.clip(np.floor((value - low) / width), 0, buckets - 1))
+    return (low + index * width, low + (index + 1) * width)
+
+
+def generalize_matrix(
+    values: np.ndarray,
+    profile: AnonymizationProfile,
+    domain: Optional[Tuple[float, float]] = None,
+    rng: SeedLike = None,
+) -> IntervalMatrix:
+    """Anonymize a scalar matrix into an interval matrix using a privacy profile.
+
+    Each non-zero cell is independently assigned a generalization level with the
+    profile's probabilities and replaced by its generalization bucket.  Zero
+    cells are preserved as scalar zeros (they encode missing observations in
+    the paper's sparse scenarios).
+    """
+    values = np.asarray(values, dtype=float)
+    rng = default_rng(rng)
+    if domain is None:
+        positive = values[values != 0.0]
+        low = float(positive.min()) if positive.size else 0.0
+        high = float(positive.max()) if positive.size else 1.0
+        if high <= low:
+            high = low + 1.0
+        domain = (low, high)
+
+    levels = list(GENERALIZATION_LEVELS)
+    probabilities = np.array([profile.weights.get(level, 0.0) for level in levels])
+    assignments = rng.choice(len(levels), size=values.shape, p=probabilities)
+
+    lower = values.copy()
+    upper = values.copy()
+    for level_index, level in enumerate(levels):
+        buckets = GENERALIZATION_LEVELS[level]
+        mask = (assignments == level_index) & (values != 0.0)
+        if not mask.any():
+            continue
+        low, high = domain
+        width = (high - low) / buckets
+        bucket_index = np.clip(np.floor((values[mask] - low) / width), 0, buckets - 1)
+        lower[mask] = low + bucket_index * width
+        upper[mask] = low + (bucket_index + 1) * width
+    return IntervalMatrix(lower, upper)
+
+
+def make_anonymized_matrix(
+    shape: Tuple[int, int] = (40, 250),
+    profile: str = "medium",
+    matrix_density: float = 0.0,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    rng: SeedLike = None,
+) -> IntervalMatrix:
+    """Generate a random scalar matrix and anonymize it (Figure 7 workload).
+
+    Parameters
+    ----------
+    shape:
+        Matrix dimensions.
+    profile:
+        One of ``"high"``, ``"medium"``, ``"low"`` (paper's privacy mixtures),
+        or an :class:`AnonymizationProfile` instance.
+    matrix_density:
+        Fraction of cells forced to zero before anonymization.
+    value_range:
+        Uniform range of the underlying scalar values.
+    rng:
+        Seed or generator.
+    """
+    rng = default_rng(rng)
+    if isinstance(profile, str):
+        try:
+            profile = PRIVACY_PROFILES[profile]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown privacy profile {profile!r}; expected one of "
+                f"{sorted(PRIVACY_PROFILES)}"
+            ) from exc
+    values = rng.uniform(value_range[0], value_range[1], size=shape)
+    if matrix_density > 0.0:
+        zero_mask = rng.random(shape) < matrix_density
+        values = np.where(zero_mask, 0.0, values)
+    return generalize_matrix(values, profile, domain=value_range, rng=rng)

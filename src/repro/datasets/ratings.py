@@ -1,0 +1,237 @@
+"""Synthetic ratings datasets (stand-ins for MovieLens-100K, Ciao and Epinions).
+
+The paper's social-media experiments (Figure 9, Figure 10) use three external
+rating datasets.  This module generates seeded synthetic substitutes with a
+latent-factor structure (users and items have low-dimensional preference
+vectors; items belong to categories/genres), and implements the paper's two
+interval constructions:
+
+* **user-category interval matrix** (Section 6.1.3.1 / supplementary F.2,
+  Eq. 4): entry ``(i, j)`` is the min..max range of the ratings user ``i`` gave
+  to items of category ``j`` — the matrix used for the Figure 9 reconstruction
+  study; its full rank is the number of categories.
+* **per-rating interval matrix** (supplementary F.2, Eqs. 5-7): each observed
+  rating ``X_ij`` becomes ``[X_ij - delta_ij, X_ij + delta_ij]`` where
+  ``delta_ij = alpha * std`` of all ratings sharing the row or the column —
+  the matrix used for the Figure 10 collaborative-filtering study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import SeedLike, default_rng
+
+
+@dataclass(frozen=True)
+class RatingsPreset:
+    """Geometry of one of the paper's rating datasets (scaled for laptop runs).
+
+    ``full_n_users`` / ``full_n_items`` record the original dataset sizes for
+    reference; the default generator sizes are scaled down so the experiment
+    harness runs in seconds, which does not change the qualitative behaviour
+    (the user-category matrices have the same number of columns / full rank).
+    """
+
+    name: str
+    n_users: int
+    n_items: int
+    n_categories: int
+    density: float
+    full_n_users: int
+    full_n_items: int
+
+
+#: Scaled-down presets mirroring the paper's three datasets.
+SOCIAL_MEDIA_PRESETS: Dict[str, RatingsPreset] = {
+    "ciao": RatingsPreset("ciao", 700, 1400, 28, 0.28, 7000, 100000),
+    "epinions": RatingsPreset("epinions", 1100, 2200, 27, 0.26, 22000, 300000),
+    "movielens": RatingsPreset("movielens", 400, 800, 19, 0.12, 943, 1682),
+}
+
+
+@dataclass
+class RatingsDataset:
+    """A synthetic user-item rating collection.
+
+    Attributes
+    ----------
+    ratings:
+        ``(n_users, n_items)`` matrix of ratings in ``{0} U [1, 5]``; zero means
+        "not rated".
+    item_categories:
+        ``(n_items,)`` integer category/genre of each item.
+    n_categories:
+        Number of distinct categories.
+    name:
+        Preset name (``ciao`` / ``epinions`` / ``movielens`` / ``custom``).
+    """
+
+    ratings: np.ndarray
+    item_categories: np.ndarray
+    n_categories: int
+    name: str = "custom"
+
+    @property
+    def n_users(self) -> int:
+        """Number of users (rows)."""
+        return int(self.ratings.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        """Number of items (columns)."""
+        return int(self.ratings.shape[1])
+
+    @property
+    def observed_mask(self) -> np.ndarray:
+        """Boolean mask of observed (non-zero) ratings."""
+        return self.ratings != 0.0
+
+    @property
+    def density(self) -> float:
+        """Fraction of observed ratings."""
+        return float(self.observed_mask.mean())
+
+    def holdout_split(
+        self, test_fraction: float = 0.2, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split the observed cells into train/test boolean masks."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = default_rng(rng)
+        observed = self.observed_mask
+        test = observed & (rng.random(self.ratings.shape) < test_fraction)
+        train = observed & ~test
+        return train, test
+
+
+def make_ratings_dataset(
+    preset: Optional[str] = "movielens",
+    n_users: Optional[int] = None,
+    n_items: Optional[int] = None,
+    n_categories: Optional[int] = None,
+    density: Optional[float] = None,
+    latent_rank: int = 8,
+    seed: Optional[int] = None,
+) -> RatingsDataset:
+    """Generate a synthetic rating dataset with latent user/category structure.
+
+    Users and categories have low-dimensional preference/profile vectors; an
+    item's appeal to a user is the dot product of the user's preferences with
+    its category profile plus item-specific variation, mapped onto the 1..5
+    star scale.  A fraction ``density`` of cells is observed.
+
+    Parameters override the preset when given; ``preset=None`` requires all
+    geometry parameters explicitly.
+    """
+    if preset is not None:
+        try:
+            base = SOCIAL_MEDIA_PRESETS[preset]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown preset {preset!r}; expected one of {sorted(SOCIAL_MEDIA_PRESETS)}"
+            ) from exc
+        n_users = n_users or base.n_users
+        n_items = n_items or base.n_items
+        n_categories = n_categories or base.n_categories
+        density = density if density is not None else base.density
+        name = base.name
+    else:
+        name = "custom"
+    if not all([n_users, n_items, n_categories]) or density is None:
+        raise ValueError("n_users, n_items, n_categories and density are required")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    if n_categories > n_items:
+        raise ValueError("cannot have more categories than items")
+
+    rng = default_rng(seed)
+    user_preferences = rng.normal(size=(n_users, latent_rank))
+    category_profiles = rng.normal(size=(n_categories, latent_rank))
+    item_categories = rng.integers(0, n_categories, size=n_items)
+    # Ensure every category has at least one item so user-category matrices
+    # have no structurally empty columns.
+    item_categories[:n_categories] = np.arange(n_categories)
+    item_offsets = rng.normal(scale=0.3, size=n_items)
+
+    affinity = user_preferences @ category_profiles[item_categories].T + item_offsets
+    affinity += rng.normal(scale=0.5, size=affinity.shape)
+    # Map affinities onto the 1..5 star scale.
+    scaled = (affinity - affinity.mean()) / (affinity.std() + 1e-12)
+    stars = np.clip(np.round(3.0 + 1.25 * scaled), 1, 5)
+
+    observed = rng.random((n_users, n_items)) < density
+    ratings = np.where(observed, stars, 0.0)
+    return RatingsDataset(
+        ratings=ratings,
+        item_categories=item_categories,
+        n_categories=int(n_categories),
+        name=name,
+    )
+
+
+def user_category_interval_matrix(dataset: RatingsDataset) -> IntervalMatrix:
+    """User x category interval matrix of rating ranges (Figure 9 workload).
+
+    Entry ``(i, j)`` is ``[min, max]`` over the ratings user ``i`` gave to items
+    of category ``j``; users with no rating in a category get a scalar zero.
+    """
+    n_users, n_categories = dataset.n_users, dataset.n_categories
+    lower = np.zeros((n_users, n_categories))
+    upper = np.zeros((n_users, n_categories))
+    observed = dataset.observed_mask
+    for category in range(n_categories):
+        columns = dataset.item_categories == category
+        block = dataset.ratings[:, columns]
+        block_mask = observed[:, columns]
+        has_any = block_mask.any(axis=1)
+        if not has_any.any():
+            continue
+        minimum = np.where(block_mask, block, np.inf).min(axis=1)
+        maximum = np.where(block_mask, block, -np.inf).max(axis=1)
+        lower[has_any, category] = minimum[has_any]
+        upper[has_any, category] = maximum[has_any]
+    return IntervalMatrix(lower, upper)
+
+
+def rating_interval_matrix(dataset: RatingsDataset, alpha: float = 0.5) -> IntervalMatrix:
+    """Per-rating interval matrix for collaborative filtering (Figure 10 workload).
+
+    Each observed rating ``X_ij`` becomes ``[X_ij - d, X_ij + d]`` with
+    ``d = alpha * std(S_ij)``, where ``S_ij`` is the multiset of all observed
+    ratings in row ``i`` or column ``j`` (supplementary F.2).  Unobserved cells
+    stay scalar zero.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ratings = dataset.ratings
+    observed = dataset.observed_mask.astype(float)
+
+    values = ratings * observed
+    squares = (ratings**2) * observed
+
+    row_count = observed.sum(axis=1, keepdims=True)
+    row_sum = values.sum(axis=1, keepdims=True)
+    row_sumsq = squares.sum(axis=1, keepdims=True)
+
+    col_count = observed.sum(axis=0, keepdims=True)
+    col_sum = values.sum(axis=0, keepdims=True)
+    col_sumsq = squares.sum(axis=0, keepdims=True)
+
+    # Union of row i's and column j's observations: the (i, j) cell itself would
+    # be counted twice, subtract one copy when it is observed.
+    union_count = row_count + col_count - observed
+    union_sum = row_sum + col_sum - values
+    union_sumsq = row_sumsq + col_sumsq - squares
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = union_sum / union_count
+        variance = union_sumsq / union_count - mean**2
+    variance = np.nan_to_num(np.clip(variance, 0.0, None))
+    delta = alpha * np.sqrt(variance) * dataset.observed_mask
+
+    return IntervalMatrix(ratings - delta, ratings + delta)

@@ -1,0 +1,145 @@
+"""Uniform synthetic interval matrices (paper Table 1).
+
+The synthetic experiments sweep over matrix dimension, matrix density
+(percentage of zero cells), interval density (fraction of non-zero cells that
+become genuine intervals) and interval intensity (maximum interval scope as a
+fraction of the cell value).  :class:`SyntheticConfig` captures one point of
+that grid, with the paper's default configuration as the dataclass defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import SeedLike, default_rng, random_interval_matrix
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """One configuration of the paper's synthetic-data grid (Table 1).
+
+    Defaults correspond to the paper's bold default values: a 40 x 250 matrix
+    with no zero cells, 100% interval density, 100% interval intensity and a
+    target rank of 20.
+    """
+
+    shape: Tuple[int, int] = (40, 250)
+    matrix_density: float = 0.0
+    interval_density: float = 1.0
+    interval_intensity: float = 1.0
+    rank: int = 20
+    value_range: Tuple[float, float] = (0.0, 1.0)
+
+    #: Parameter values explored in the paper, usable for sweep construction.
+    MATRIX_SHAPES = ((40, 250), (250, 40), (25, 400), (400, 250), (250, 400))
+    MATRIX_DENSITIES = (0.0, 0.5, 0.9)
+    INTERVAL_DENSITIES = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+    INTERVAL_INTENSITIES = (0.1, 0.25, 0.5, 0.75, 1.0)
+    RANKS = (5, 10, 20, 40)
+
+    def __post_init__(self) -> None:
+        n, m = self.shape
+        if n < 1 or m < 1:
+            raise ValueError(f"invalid matrix shape: {self.shape}")
+        if not 0.0 <= self.matrix_density <= 1.0:
+            raise ValueError("matrix_density must be in [0, 1]")
+        if not 0.0 <= self.interval_density <= 1.0:
+            raise ValueError("interval_density must be in [0, 1]")
+        if self.interval_intensity < 0.0:
+            raise ValueError("interval_intensity must be >= 0")
+        if self.rank < 1 or self.rank > min(n, m):
+            raise ValueError(f"rank must be in [1, {min(n, m)}], got {self.rank}")
+
+    def with_(self, **changes) -> "SyntheticConfig":
+        """Return a copy of the configuration with some fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact string used in experiment reports."""
+        n, m = self.shape
+        return (
+            f"{n}x{m} zeros={self.matrix_density:.0%} "
+            f"int.density={self.interval_density:.0%} "
+            f"int.intensity={self.interval_intensity:.0%} rank={self.rank}"
+        )
+
+
+def make_uniform_interval_matrix(
+    config: Optional[SyntheticConfig] = None,
+    rng: SeedLike = None,
+) -> IntervalMatrix:
+    """Generate one uniform interval matrix for a synthetic configuration."""
+    config = config or SyntheticConfig()
+    return random_interval_matrix(
+        shape=config.shape,
+        matrix_density=config.matrix_density,
+        interval_density=config.interval_density,
+        interval_intensity=config.interval_intensity,
+        value_range=config.value_range,
+        rng=rng,
+    )
+
+
+def generate_trials(
+    config: Optional[SyntheticConfig] = None,
+    trials: int = 10,
+    seed: Optional[int] = None,
+) -> Iterator[IntervalMatrix]:
+    """Yield ``trials`` independent matrices for the same configuration.
+
+    The paper averages each synthetic result over 100 random matrices; the
+    experiment harness uses a smaller default so the benches stay laptop-scale,
+    and the trial count is configurable everywhere.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    rng = default_rng(seed)
+    config = config or SyntheticConfig()
+    for _ in range(trials):
+        yield make_uniform_interval_matrix(config, rng=rng)
+
+
+def density_sweep(base: Optional[SyntheticConfig] = None,
+                  densities: Optional[Tuple[float, ...]] = None) -> List[SyntheticConfig]:
+    """Configurations for the Table 2(a) interval-density sweep."""
+    base = base or SyntheticConfig()
+    densities = densities or (0.10, 0.25, 0.75, 1.0)
+    return [base.with_(interval_density=d) for d in densities]
+
+
+def intensity_sweep(base: Optional[SyntheticConfig] = None,
+                    intensities: Optional[Tuple[float, ...]] = None) -> List[SyntheticConfig]:
+    """Configurations for the Table 2(b) interval-intensity sweep."""
+    base = base or SyntheticConfig()
+    intensities = intensities or (0.10, 0.25, 0.75, 1.0)
+    return [base.with_(interval_intensity=i) for i in intensities]
+
+
+def matrix_density_sweep(base: Optional[SyntheticConfig] = None,
+                         densities: Optional[Tuple[float, ...]] = None) -> List[SyntheticConfig]:
+    """Configurations for the Table 2(c) matrix-density (zero fraction) sweep."""
+    base = base or SyntheticConfig()
+    densities = densities or (0.0, 0.5, 0.9)
+    return [base.with_(matrix_density=d) for d in densities]
+
+
+def shape_sweep(base: Optional[SyntheticConfig] = None,
+                shapes: Optional[Tuple[Tuple[int, int], ...]] = None) -> List[SyntheticConfig]:
+    """Configurations for the Table 2(d) matrix-configuration sweep."""
+    base = base or SyntheticConfig()
+    shapes = shapes or ((25, 400), (40, 250), (250, 40), (400, 250), (250, 400))
+    configs = []
+    for shape in shapes:
+        rank = min(base.rank, min(shape))
+        configs.append(base.with_(shape=shape, rank=rank))
+    return configs
+
+
+def rank_sweep(base: Optional[SyntheticConfig] = None,
+               ranks: Optional[Tuple[int, ...]] = None) -> List[SyntheticConfig]:
+    """Configurations for the Table 2(e) target-rank sweep."""
+    base = base or SyntheticConfig()
+    ranks = ranks or (5, 10, 20, 40)
+    return [base.with_(rank=min(r, min(base.shape))) for r in ranks]

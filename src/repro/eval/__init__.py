@@ -1,0 +1,18 @@
+"""Evaluation substrate: metrics, classification, clustering, collaborative filtering."""
+
+from repro.eval.metrics import f1_macro, normalized_mutual_information, rmse_score
+from repro.eval.knn import IntervalNearestNeighbor, nn_classification_f1
+from repro.eval.kmeans import IntervalKMeans, kmeans_nmi
+from repro.eval.cf import rating_prediction_rmse, reconstruction_rating_rmse
+
+__all__ = [
+    "f1_macro",
+    "normalized_mutual_information",
+    "rmse_score",
+    "IntervalNearestNeighbor",
+    "nn_classification_f1",
+    "IntervalKMeans",
+    "kmeans_nmi",
+    "rating_prediction_rmse",
+    "reconstruction_rating_rmse",
+]

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every experiment module exposes a ``Config`` dataclass (with laptop-scale
+defaults — increase ``trials`` / grid sizes to approach the paper's settings),
+a ``run(config)`` function returning an
+:class:`~repro.experiments.runner.ExperimentResult`, and a ``main()`` function
+that prints the same rows/series the paper reports.
+
+==================  ===========================================================
+Module              Paper artifact
+==================  ===========================================================
+``alignment``       Figures 3 and 5 (cosine similarity before/after ILSA and
+                    before/after ISVD4's V recomputation)
+``fig6_overview``   Figure 6(a) accuracy overview and 6(b) timing breakdown
+``table2_sweeps``   Tables 2(a)-(e) (option-b parameter sweeps)
+``fig7_anonymized`` Figure 7(a)-(c) (anonymized data, three privacy levels)
+``fig8_faces``      Figure 8(a)-(c) (face reconstruction / NN / clustering)
+``table3_clustering`` Table 3 (clustering accuracy and execution time)
+``fig9_social``     Figure 9(a)-(c) (Ciao / Epinions / MovieLens reconstruction)
+``fig10_cf``        Figure 10 (collaborative filtering RMSE)
+==================  ===========================================================
+"""
+
+from repro.experiments.runner import ExperimentResult, MethodSpec, DEFAULT_METHOD_GRID
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentResult",
+    "MethodSpec",
+    "DEFAULT_METHOD_GRID",
+    "format_table",
+]

@@ -1,0 +1,111 @@
+"""Figure 10: collaborative filtering RMSE of PMF vs I-PMF vs AI-PMF.
+
+A MovieLens-like rating dataset is split into train/test observations; the
+per-rating interval matrix (supplementary F.2) is built from the training
+ratings only.  PMF trains on the scalar training ratings, I-PMF and AI-PMF on
+the interval training matrix; all three are scored by RMSE on the held-out
+ratings, across a sweep of decomposition ranks.  The paper's headline claims
+are that AI-PMF always beats I-PMF and overtakes PMF at higher ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ipmf import AIPMF, IPMF, PMF
+from repro.datasets.ratings import RatingsDataset, make_ratings_dataset, rating_interval_matrix
+from repro.eval.cf import rating_prediction_rmse
+from repro.experiments.runner import ExperimentResult
+from repro.interval.array import IntervalMatrix
+
+
+@dataclass
+class Figure10Config:
+    """Configuration for the collaborative-filtering experiment."""
+
+    n_users: int = 200
+    n_items: int = 400
+    n_categories: int = 19
+    density: float = 0.15
+    alpha: float = 0.5
+    ranks: Sequence[int] = (10, 40, 80, 120)
+    epochs: int = 30
+    learning_rate: float = 0.005
+    regularization: float = 0.05
+    batch_size: Optional[int] = 64
+    test_fraction: float = 0.2
+    seed: Optional[int] = 71
+
+
+def _prepare(config: Figure10Config):
+    """Build the dataset, train/test masks, and the interval training matrix."""
+    dataset = make_ratings_dataset(
+        preset="movielens",
+        n_users=config.n_users,
+        n_items=config.n_items,
+        n_categories=config.n_categories,
+        density=config.density,
+        seed=config.seed,
+    )
+    train_mask, test_mask = dataset.holdout_split(config.test_fraction, rng=config.seed)
+    train_ratings = dataset.ratings * train_mask
+    train_dataset = RatingsDataset(
+        ratings=train_ratings,
+        item_categories=dataset.item_categories,
+        n_categories=dataset.n_categories,
+        name=dataset.name,
+    )
+    interval_train = rating_interval_matrix(train_dataset, alpha=config.alpha)
+    return dataset, train_ratings, train_mask, test_mask, interval_train
+
+
+def _model_kwargs(config: Figure10Config, rank: int) -> Dict[str, object]:
+    return dict(
+        rank=rank,
+        learning_rate=config.learning_rate,
+        reg_u=config.regularization,
+        reg_v=config.regularization,
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+
+
+def run(config: Optional[Figure10Config] = None) -> ExperimentResult:
+    """Train PMF / I-PMF / AI-PMF across ranks and report held-out RMSE."""
+    config = config or Figure10Config()
+    dataset, train_ratings, train_mask, test_mask, interval_train = _prepare(config)
+
+    result = ExperimentResult(
+        name="Figure 10: collaborative filtering RMSE (lower is better)",
+        headers=["rank", "PMF", "I-PMF", "AI-PMF"],
+    )
+    for rank in config.ranks:
+        rank = min(rank, min(dataset.ratings.shape))
+        pmf = PMF(**_model_kwargs(config, rank)).fit(train_ratings, mask=train_mask)
+        ipmf = IPMF(**_model_kwargs(config, rank)).fit(interval_train, mask=train_mask)
+        aipmf = AIPMF(**_model_kwargs(config, rank)).fit(interval_train, mask=train_mask)
+        result.add_row(
+            rank,
+            rating_prediction_rmse(pmf, dataset.ratings, test_mask),
+            rating_prediction_rmse(ipmf, dataset.ratings, test_mask),
+            rating_prediction_rmse(aipmf, dataset.ratings, test_mask),
+        )
+    result.add_note(
+        f"{dataset.n_users} users, {dataset.n_items} items, density {dataset.density:.2f}, "
+        f"alpha={config.alpha}, {config.epochs} epochs"
+    )
+    result.add_note("paper shape: AI-PMF <= I-PMF everywhere; AI-PMF beats PMF at higher ranks")
+    return result
+
+
+def main() -> None:
+    """Print the Figure 10 RMSE table."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper reports its results as tables and series of numbers; the experiment
+modules print the same rows with this small formatter so the reproduction can
+be compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Floats are formatted with ``precision`` decimals; ``None`` renders as ``-``.
+    """
+    formatted_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Cell], ys: Sequence[Cell],
+                  precision: int = 3) -> str:
+    """Render an (x, y) series on one line, e.g. for figure-style results."""
+    if len(xs) != len(ys):
+        raise ValueError("series x and y lengths differ")
+    pairs = ", ".join(
+        f"{_format_cell(x, precision)}:{_format_cell(y, precision)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

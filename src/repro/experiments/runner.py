@@ -1,0 +1,127 @@
+"""Shared experiment plumbing: method grids, trial averaging, result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.baselines.lp_eig import lp_isvd
+from repro.core.accuracy import harmonic_mean_accuracy
+from repro.core.isvd import ISVDMethod, isvd
+from repro.core.result import DecompositionTarget, IntervalDecomposition
+from repro.interval.array import IntervalMatrix
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One decomposition method/target combination evaluated by an experiment."""
+
+    label: str
+    method: str
+    target: str
+
+    def decompose(self, matrix: IntervalMatrix, rank: int) -> IntervalDecomposition:
+        """Run the decomposition this spec describes."""
+        if self.method == "lp":
+            return lp_isvd(matrix, rank, target=self.target)
+        return isvd(matrix, rank, method=self.method, target=self.target)
+
+    @property
+    def option(self) -> str:
+        """Decomposition target letter (a/b/c), for grouping in reports."""
+        return self.target
+
+
+def isvd_grid(targets: Sequence[str] = ("a", "b", "c"),
+              include_lp: bool = False) -> List[MethodSpec]:
+    """The method grid of Figure 6 / Figure 7 / Figure 9.
+
+    ISVD0 only exists for target ``c``; ISVD1..4 exist for every requested
+    target; the LP competitor is optional (it is slow and scores near zero).
+    """
+    specs: List[MethodSpec] = []
+    for target in targets:
+        if target == "c":
+            specs.append(MethodSpec("ISVD0", "isvd0", "c"))
+        for index in (1, 2, 3, 4):
+            specs.append(MethodSpec(f"ISVD{index}-{target}", f"isvd{index}", target))
+        if include_lp:
+            specs.append(MethodSpec(f"LP-{target}", "lp", target))
+    return specs
+
+
+#: Option-b grid used by the Table 2 sweeps (plus the fast ISVD0 alternative).
+DEFAULT_METHOD_GRID: Tuple[MethodSpec, ...] = (
+    MethodSpec("ISVD0", "isvd0", "c"),
+    MethodSpec("ISVD1-b", "isvd1", "b"),
+    MethodSpec("ISVD2-b", "isvd2", "b"),
+    MethodSpec("ISVD3-b", "isvd3", "b"),
+    MethodSpec("ISVD4-b", "isvd4", "b"),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment, plus the header used to print them."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one result row."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note printed after the table."""
+        self.notes.append(note)
+
+    def to_text(self, precision: int = 3) -> str:
+        """Render the result as the table printed by ``main()``."""
+        from repro.experiments.report import format_table
+
+        text = format_table(self.headers, self.rows, title=self.name, precision=precision)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dict_rows(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+def average_hmean(
+    matrices: Sequence[IntervalMatrix],
+    spec: MethodSpec,
+    rank: int,
+) -> float:
+    """Average harmonic-mean reconstruction accuracy of a method over trials."""
+    scores = []
+    for matrix in matrices:
+        effective_rank = min(rank, min(matrix.shape))
+        decomposition = spec.decompose(matrix, effective_rank)
+        scores.append(harmonic_mean_accuracy(matrix, decomposition))
+    return float(np.mean(scores))
+
+
+def evaluate_grid(
+    matrices: Sequence[IntervalMatrix],
+    specs: Sequence[MethodSpec],
+    rank: int,
+) -> Dict[str, float]:
+    """Average H-mean accuracy per method label over a set of trial matrices."""
+    return {spec.label: average_hmean(matrices, spec, rank) for spec in specs}
+
+
+def rank_order(scores: Dict[str, float]) -> Dict[str, int]:
+    """Rank labels by descending score (1 = best), as in Figures 7 and 9."""
+    ordered = sorted(scores.items(), key=lambda item: -item[1])
+    return {label: position + 1 for position, (label, _) in enumerate(ordered)}

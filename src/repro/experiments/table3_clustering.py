@@ -1,0 +1,93 @@
+"""Table 3: clustering accuracy and execution time at different resolutions.
+
+Compares three feature representations of the face images for K-means
+clustering (K = number of subjects), scored with NMI and timed end to end:
+
+* **scalar vectors** — the raw pixel rows;
+* **interval vectors** — the raw interval-valued pixel rows (twice the width);
+* **ISVD2-b (r = 20)** — the low-rank interval features (``U x Sigma``) of an
+  ISVD2 decomposition with target b; the time column separates decomposition
+  time from clustering time, as the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.isvd import isvd
+from repro.datasets.faces import make_face_dataset
+from repro.eval.kmeans import kmeans_nmi
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass
+class Table3Config:
+    """Configuration for the clustering accuracy/time comparison."""
+
+    resolutions: Sequence[int] = (24, 32)
+    n_subjects: int = 20
+    images_per_subject: int = 8
+    rank: int = 20
+    seed: Optional[int] = 53
+
+
+def run(config: Optional[Table3Config] = None) -> ExperimentResult:
+    """Run the Table 3 comparison for every configured resolution."""
+    config = config or Table3Config()
+    result = ExperimentResult(
+        name="Table 3: clustering NMI and execution time (decomposition + k-means)",
+        headers=[
+            "resolution",
+            "scalar NMI", "scalar time (s)",
+            "interval NMI", "interval time (s)",
+            f"ISVD2-b(r={config.rank}) NMI", "ISVD2-b time (s)", "  (decomp s)", "  (k-means s)",
+        ],
+    )
+    for resolution in config.resolutions:
+        dataset = make_face_dataset(
+            n_subjects=config.n_subjects,
+            images_per_subject=config.images_per_subject,
+            resolution=resolution,
+            seed=config.seed,
+        )
+        labels = dataset.labels
+
+        start = time.perf_counter()
+        scalar_nmi = kmeans_nmi(dataset.images, labels, seed=config.seed)
+        scalar_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        interval_nmi = kmeans_nmi(dataset.intervals, labels, seed=config.seed)
+        interval_time = time.perf_counter() - start
+
+        rank = min(config.rank, min(dataset.intervals.shape))
+        start = time.perf_counter()
+        decomposition = isvd(dataset.intervals, rank, method="isvd2", target="b")
+        decomposition_time = time.perf_counter() - start
+        features = decomposition.projection()
+        start = time.perf_counter()
+        isvd_nmi = kmeans_nmi(features, labels, seed=config.seed)
+        kmeans_time = time.perf_counter() - start
+
+        result.add_row(
+            f"{resolution}x{resolution}",
+            scalar_nmi, scalar_time,
+            interval_nmi, interval_time,
+            isvd_nmi, decomposition_time + kmeans_time, decomposition_time, kmeans_time,
+        )
+    result.add_note(
+        "paper shape: interval vectors beat scalar vectors but are slow; the low-rank "
+        "ISVD2-b features match the interval accuracy at a fraction of the clustering time"
+    )
+    return result
+
+
+def main() -> None:
+    """Print the Table 3 comparison."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Interval algebra substrate.
+
+This subpackage implements the interval-valued data model the paper builds on
+(Section 2.1): a scalar :class:`~repro.interval.scalar.Interval` value type,
+dense :class:`~repro.interval.array.IntervalMatrix` arrays backed by numpy,
+and the interval linear-algebra kernels (interval matrix multiplication,
+average replacement, diagonal-core inversion, L2 column normalization) that
+the ISVD algorithms are built from.
+"""
+
+from repro.interval.scalar import Interval
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import (
+    interval_matmul,
+    average_replacement_matrix,
+    average_replacement_vector,
+    inverse_core,
+    norm_mat,
+    interval_dot,
+    interval_frobenius_norm,
+)
+from repro.interval.random import (
+    random_interval_matrix,
+    intervalize,
+)
+
+__all__ = [
+    "Interval",
+    "IntervalMatrix",
+    "interval_matmul",
+    "average_replacement_matrix",
+    "average_replacement_vector",
+    "inverse_core",
+    "norm_mat",
+    "interval_dot",
+    "interval_frobenius_norm",
+    "random_interval_matrix",
+    "intervalize",
+]

@@ -1,0 +1,366 @@
+"""Dense interval-valued matrices backed by numpy arrays.
+
+An :class:`IntervalMatrix` stores the elementwise minimum matrix ``lower``
+(``M_*`` in the paper) and maximum matrix ``upper`` (``M^*``), and vectorizes
+the interval arithmetic rules of Section 2.1 over whole matrices.  All the
+ISVD/IPMF algorithms in :mod:`repro.core` consume and produce this type.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.interval.scalar import Interval, IntervalError
+
+ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float], float]
+
+
+class IntervalMatrix:
+    """A dense matrix whose entries are closed intervals.
+
+    Parameters
+    ----------
+    lower:
+        Array of minimum values, any shape.
+    upper:
+        Array of maximum values, same shape as ``lower``.
+    check:
+        When True (default), validates ``lower <= upper`` everywhere and raises
+        :class:`~repro.interval.scalar.IntervalError` otherwise.  Algorithms
+        that intentionally carry *misordered* intermediate matrices (the paper
+        notes SVD of min/max components may produce them) pass ``check=False``
+        and correct the ordering later via average replacement.
+
+    Examples
+    --------
+    >>> m = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.0]])
+    >>> m.shape
+    (1, 2)
+    >>> m.midpoint()
+    array([[1.25, 2.  ]])
+    """
+
+    __slots__ = ("lower", "upper")
+    __array_priority__ = 100  # make ndarray defer to our reflected operators
+
+    def __init__(self, lower: ArrayLike, upper: ArrayLike, *, check: bool = True):
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if lower.shape != upper.shape:
+            raise IntervalError(
+                f"lower/upper shape mismatch: {lower.shape} vs {upper.shape}"
+            )
+        if check:
+            if np.isnan(lower).any() or np.isnan(upper).any():
+                raise IntervalError("interval matrices must not contain NaN")
+            if (lower > upper).any():
+                bad = int((lower > upper).sum())
+                raise IntervalError(
+                    f"{bad} entries have lower > upper; use check=False for "
+                    "intermediate matrices and correct them with average replacement"
+                )
+        self.lower = lower
+        self.upper = upper
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scalar(cls, values: ArrayLike) -> "IntervalMatrix":
+        """Wrap a scalar matrix as degenerate intervals ``[x, x]``."""
+        values = np.asarray(values, dtype=float)
+        return cls(values.copy(), values.copy())
+
+    @classmethod
+    def from_center(cls, center: ArrayLike, radius: ArrayLike) -> "IntervalMatrix":
+        """Build from a midpoint matrix and a non-negative radius matrix."""
+        center = np.asarray(center, dtype=float)
+        radius = np.asarray(radius, dtype=float)
+        if (radius < 0).any():
+            raise IntervalError("radius matrix must be non-negative")
+        return cls(center - radius, center + radius)
+
+    @classmethod
+    def from_intervals(cls, entries: Sequence[Sequence[Interval]]) -> "IntervalMatrix":
+        """Build from a nested sequence of :class:`Interval` objects."""
+        rows = len(entries)
+        cols = len(entries[0]) if rows else 0
+        lower = np.empty((rows, cols), dtype=float)
+        upper = np.empty((rows, cols), dtype=float)
+        for i, row in enumerate(entries):
+            if len(row) != cols:
+                raise IntervalError("ragged interval matrix")
+            for j, entry in enumerate(row):
+                entry = Interval.coerce(entry)
+                lower[i, j] = entry.lo
+                upper[i, j] = entry.hi
+        return cls(lower, upper)
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...]) -> "IntervalMatrix":
+        """All-zero (scalar) interval matrix of the given shape."""
+        return cls(np.zeros(shape), np.zeros(shape))
+
+    @classmethod
+    def coerce(cls, value: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
+        """Coerce a scalar ndarray (or nested list) into an :class:`IntervalMatrix`."""
+        if isinstance(value, IntervalMatrix):
+            return value
+        return cls.from_scalar(value)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape shared by the lower and upper endpoint arrays."""
+        return self.lower.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.lower.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of entries."""
+        return self.lower.size
+
+    @property
+    def T(self) -> "IntervalMatrix":
+        """Transpose (endpointwise)."""
+        return IntervalMatrix(self.lower.T, self.upper.T, check=False)
+
+    def copy(self) -> "IntervalMatrix":
+        """Deep copy of both endpoint arrays."""
+        return IntervalMatrix(self.lower.copy(), self.upper.copy(), check=False)
+
+    def midpoint(self) -> np.ndarray:
+        """Elementwise midpoints ``(lower + upper) / 2`` (the ``M_avg`` matrix)."""
+        return 0.5 * (self.lower + self.upper)
+
+    def span(self) -> np.ndarray:
+        """Elementwise spans ``upper - lower`` (Definition 2)."""
+        return self.upper - self.lower
+
+    def radius(self) -> np.ndarray:
+        """Elementwise radii (half spans)."""
+        return 0.5 * (self.upper - self.lower)
+
+    def is_scalar(self, tol: float = 0.0) -> bool:
+        """True when every entry is (numerically) degenerate."""
+        return bool(np.all(self.upper - self.lower <= tol))
+
+    def is_valid(self) -> bool:
+        """True when every entry satisfies ``lower <= upper``."""
+        return bool(np.all(self.lower <= self.upper))
+
+    def misordered_mask(self) -> np.ndarray:
+        """Boolean mask of entries with ``lower > upper``."""
+        return self.lower > self.upper
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key) -> Union["IntervalMatrix", Interval]:
+        lower = self.lower[key]
+        upper = self.upper[key]
+        if np.isscalar(lower) or lower.ndim == 0:
+            lo, hi = float(lower), float(upper)
+            if lo > hi:
+                lo, hi = hi, lo
+            return Interval(lo, hi)
+        return IntervalMatrix(lower, upper, check=False)
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(value, Interval):
+            self.lower[key] = value.lo
+            self.upper[key] = value.hi
+        elif isinstance(value, IntervalMatrix):
+            self.lower[key] = value.lower
+            self.upper[key] = value.upper
+        else:
+            value = np.asarray(value, dtype=float)
+            self.lower[key] = value
+            self.upper[key] = value
+
+    def row(self, index: int) -> "IntervalMatrix":
+        """Row ``index`` as a 1-D interval vector."""
+        return IntervalMatrix(self.lower[index, :], self.upper[index, :], check=False)
+
+    def column(self, index: int) -> "IntervalMatrix":
+        """Column ``index`` as a 1-D interval vector."""
+        return IntervalMatrix(self.lower[:, index], self.upper[:, index], check=False)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
+        other = IntervalMatrix.coerce(other)
+        return IntervalMatrix(self.lower + other.lower, self.upper + other.upper, check=False)
+
+    def __radd__(self, other: ArrayLike) -> "IntervalMatrix":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
+        other = IntervalMatrix.coerce(other)
+        return IntervalMatrix(self.lower - other.upper, self.upper - other.lower, check=False)
+
+    def __rsub__(self, other: ArrayLike) -> "IntervalMatrix":
+        return IntervalMatrix.coerce(other).__sub__(self)
+
+    def __neg__(self) -> "IntervalMatrix":
+        return IntervalMatrix(-self.upper, -self.lower, check=False)
+
+    def __mul__(self, other: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
+        """Elementwise (Hadamard) interval multiplication."""
+        other = IntervalMatrix.coerce(other)
+        candidates = np.stack(
+            [
+                self.lower * other.lower,
+                self.lower * other.upper,
+                self.upper * other.lower,
+                self.upper * other.upper,
+            ]
+        )
+        return IntervalMatrix(candidates.min(axis=0), candidates.max(axis=0), check=False)
+
+    def __rmul__(self, other: ArrayLike) -> "IntervalMatrix":
+        return self.__mul__(other)
+
+    def scale(self, factor: float) -> "IntervalMatrix":
+        """Multiply every entry by a scalar."""
+        lower = self.lower * factor
+        upper = self.upper * factor
+        if factor < 0:
+            lower, upper = upper, lower
+        return IntervalMatrix(lower, upper, check=False)
+
+    def square(self) -> "IntervalMatrix":
+        """Elementwise square as a range image (tighter than ``self * self``)."""
+        lo_sq = self.lower**2
+        hi_sq = self.upper**2
+        straddles = (self.lower < 0) & (self.upper > 0)
+        lower = np.minimum(lo_sq, hi_sq)
+        upper = np.maximum(lo_sq, hi_sq)
+        lower = np.where(straddles, 0.0, lower)
+        return IntervalMatrix(lower, upper, check=False)
+
+    # ------------------------------------------------------------------ #
+    # Matrix products (delegated to linalg to avoid import cycles at call time)
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
+        from repro.interval.linalg import interval_matmul
+
+        return interval_matmul(self, IntervalMatrix.coerce(other))
+
+    def __rmatmul__(self, other: ArrayLike) -> "IntervalMatrix":
+        from repro.interval.linalg import interval_matmul
+
+        return interval_matmul(IntervalMatrix.coerce(other), self)
+
+    # ------------------------------------------------------------------ #
+    # Aggregations
+    # ------------------------------------------------------------------ #
+    def frobenius_norm(self) -> Interval:
+        """Interval enclosing the Frobenius norm over all member matrices."""
+        squares = self.square()
+        return Interval(
+            float(np.sqrt(squares.lower.sum())), float(np.sqrt(squares.upper.sum()))
+        )
+
+    def sum(self) -> Interval:
+        """Interval sum of all entries."""
+        return Interval(float(self.lower.sum()), float(self.upper.sum()))
+
+    def max_span(self) -> float:
+        """Largest span over all entries (a global imprecision measure)."""
+        if self.size == 0:
+            return 0.0
+        return float((self.upper - self.lower).max())
+
+    def mean_span(self) -> float:
+        """Average span over all entries."""
+        if self.size == 0:
+            return 0.0
+        return float((self.upper - self.lower).mean())
+
+    # ------------------------------------------------------------------ #
+    # Set-style helpers
+    # ------------------------------------------------------------------ #
+    def contains(self, other: Union["IntervalMatrix", ArrayLike], tol: float = 0.0) -> bool:
+        """True when the other matrix is elementwise contained in this one."""
+        other = IntervalMatrix.coerce(other)
+        return bool(
+            np.all(self.lower - tol <= other.lower) and np.all(other.upper <= self.upper + tol)
+        )
+
+    def hull(self, other: "IntervalMatrix") -> "IntervalMatrix":
+        """Elementwise smallest enclosing intervals of the two operands."""
+        other = IntervalMatrix.coerce(other)
+        return IntervalMatrix(
+            np.minimum(self.lower, other.lower),
+            np.maximum(self.upper, other.upper),
+            check=False,
+        )
+
+    def clip_nonnegative(self) -> "IntervalMatrix":
+        """Clamp both endpoints below at zero (used by NMF-style algorithms)."""
+        return IntervalMatrix(
+            np.clip(self.lower, 0.0, None), np.clip(self.upper, 0.0, None), check=False
+        )
+
+    def sorted_endpoints(self) -> "IntervalMatrix":
+        """Return a valid interval matrix by swapping misordered endpoints."""
+        return IntervalMatrix(
+            np.minimum(self.lower, self.upper), np.maximum(self.lower, self.upper)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparisons / conversions
+    # ------------------------------------------------------------------ #
+    def allclose(self, other: "IntervalMatrix", atol: float = 1e-8, rtol: float = 1e-5) -> bool:
+        """Endpointwise :func:`numpy.allclose` against another interval matrix."""
+        other = IntervalMatrix.coerce(other)
+        return bool(
+            np.allclose(self.lower, other.lower, atol=atol, rtol=rtol)
+            and np.allclose(self.upper, other.upper, atol=atol, rtol=rtol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalMatrix):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.lower, other.lower) and np.array_equal(self.upper, other.upper)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("IntervalMatrix is mutable and unhashable")
+
+    def to_intervals(self) -> list:
+        """Nested list of :class:`Interval` objects (2-D matrices only)."""
+        if self.ndim != 2:
+            raise IntervalError("to_intervals() requires a 2-D matrix")
+        return [
+            [Interval(float(self.lower[i, j]), float(self.upper[i, j]))
+             for j in range(self.shape[1])]
+            for i in range(self.shape[0])
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalMatrix(shape={self.shape}, mean_span={self.mean_span():.4g}, "
+            f"valid={self.is_valid()})"
+        )
+
+
+def stack_columns(columns: Iterable[IntervalMatrix]) -> IntervalMatrix:
+    """Stack 1-D interval vectors as the columns of a new interval matrix."""
+    columns = list(columns)
+    if not columns:
+        raise IntervalError("stack_columns() requires at least one column")
+    lower = np.column_stack([c.lower for c in columns])
+    upper = np.column_stack([c.upper for c in columns])
+    return IntervalMatrix(lower, upper, check=False)

@@ -1,0 +1,253 @@
+"""Scalar interval type and interval arithmetic (paper Section 2.1).
+
+An interval ``a = [a_lo, a_hi]`` with ``a_lo <= a_hi`` represents an imprecise
+observation.  The paper adopts Sunaga-style interval arithmetic:
+
+* addition:        ``[a_lo, a_hi] + [b_lo, b_hi] = [a_lo + b_lo, a_hi + b_hi]``
+* subtraction:     ``[a_lo, a_hi] - [b_lo, b_hi] = [a_lo - b_hi, a_hi - b_lo]``
+* multiplication:  the min/max over the four endpoint products
+* division:        multiplication by the reciprocal interval (when 0 is not
+  contained in the divisor)
+
+The class is intentionally a small immutable value type; bulk numeric work is
+done by :class:`repro.interval.array.IntervalMatrix`, which vectorizes the same
+rules over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple, Union
+
+Number = Union[int, float]
+
+
+class IntervalError(ValueError):
+    """Raised for invalid interval constructions or undefined operations."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[lo, hi]``.
+
+    Parameters
+    ----------
+    lo:
+        Minimum value of the interval.
+    hi:
+        Maximum value of the interval.  Must satisfy ``hi >= lo``.
+
+    Examples
+    --------
+    >>> a = Interval(1.0, 2.0)
+    >>> b = Interval(3.0, 5.0)
+    >>> (a + b).as_tuple()
+    (4.0, 7.0)
+    >>> (a * b).as_tuple()
+    (3.0, 10.0)
+    >>> a.span
+    1.0
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        lo = float(self.lo)
+        hi = float(self.hi)
+        if math.isnan(lo) or math.isnan(hi):
+            raise IntervalError("interval endpoints must not be NaN")
+        if lo > hi:
+            raise IntervalError(f"invalid interval: lo={lo} > hi={hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scalar(cls, value: Number) -> "Interval":
+        """Build a degenerate (scalar) interval ``[value, value]``."""
+        return cls(float(value), float(value))
+
+    @classmethod
+    def from_center(cls, center: Number, radius: Number) -> "Interval":
+        """Build an interval from its midpoint and non-negative radius."""
+        radius = float(radius)
+        if radius < 0:
+            raise IntervalError(f"radius must be non-negative, got {radius}")
+        center = float(center)
+        return cls(center - radius, center + radius)
+
+    @classmethod
+    def coerce(cls, value: Union["Interval", Number, Tuple[Number, Number]]) -> "Interval":
+        """Coerce a scalar, 2-tuple, or interval into an :class:`Interval`."""
+        if isinstance(value, Interval):
+            return value
+        if isinstance(value, tuple):
+            if len(value) != 2:
+                raise IntervalError(f"expected a (lo, hi) pair, got {value!r}")
+            return cls(float(value[0]), float(value[1]))
+        return cls.from_scalar(value)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def span(self) -> float:
+        """Interval span ``hi - lo`` (paper Definition 2)."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """Interval midpoint ``(lo + hi) / 2``."""
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def radius(self) -> float:
+        """Half the span."""
+        return 0.5 * (self.hi - self.lo)
+
+    @property
+    def is_scalar(self) -> bool:
+        """True when the interval is degenerate (``lo == hi``)."""
+        return self.lo == self.hi
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the ``(lo, hi)`` endpoint pair."""
+        return (self.lo, self.hi)
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def contains(self, value: Union[Number, "Interval"]) -> bool:
+        """True if a scalar lies in the interval, or an interval is a subset."""
+        if isinstance(value, Interval):
+            return self.lo <= value.lo and value.hi <= self.hi
+        value = float(value)
+        return self.lo <= value <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one point."""
+        other = Interval.coerce(other)
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def __contains__(self, value: Union[Number, "Interval"]) -> bool:
+        return self.contains(value)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (Definition 3)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Interval", Number]) -> "Interval":
+        other = Interval.coerce(other)
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __radd__(self, other: Number) -> "Interval":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Interval", Number]) -> "Interval":
+        other = Interval.coerce(other)
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __rsub__(self, other: Number) -> "Interval":
+        return Interval.coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Interval", Number]) -> "Interval":
+        other = Interval.coerce(other)
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return Interval(min(products), max(products))
+
+    def __rmul__(self, other: Number) -> "Interval":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __truediv__(self, other: Union["Interval", Number]) -> "Interval":
+        other = Interval.coerce(other)
+        if other.contains(0.0):
+            raise IntervalError(f"division by an interval containing zero: {other}")
+        return self * Interval(1.0 / other.hi, 1.0 / other.lo)
+
+    def __rtruediv__(self, other: Number) -> "Interval":
+        return Interval.coerce(other).__truediv__(self)
+
+    def __abs__(self) -> "Interval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return Interval(-self.hi, -self.lo)
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def square(self) -> "Interval":
+        """Elementwise square ``{x^2 : x in [lo, hi]}`` (tighter than ``self * self``)."""
+        if self.lo >= 0:
+            return Interval(self.lo * self.lo, self.hi * self.hi)
+        if self.hi <= 0:
+            return Interval(self.hi * self.hi, self.lo * self.lo)
+        return Interval(0.0, max(self.lo * self.lo, self.hi * self.hi))
+
+    def scale(self, factor: Number) -> "Interval":
+        """Multiply by a scalar, keeping endpoint order valid."""
+        factor = float(factor)
+        lo, hi = self.lo * factor, self.hi * factor
+        if factor < 0:
+            lo, hi = hi, lo
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------ #
+    # Lattice-style helpers
+    # ------------------------------------------------------------------ #
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        other = Interval.coerce(other)
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """Set intersection; raises :class:`IntervalError` if disjoint."""
+        other = Interval.coerce(other)
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            raise IntervalError(f"intervals {self} and {other} are disjoint")
+        return Interval(lo, hi)
+
+    def widen(self, amount: Number) -> "Interval":
+        """Symmetrically widen the interval by ``amount`` on each side."""
+        amount = float(amount)
+        if amount < 0:
+            raise IntervalError("widen amount must be non-negative")
+        return Interval(self.lo - amount, self.hi + amount)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.is_scalar:
+            return f"Interval({self.lo:g})"
+        return f"Interval({self.lo:g}, {self.hi:g})"
+
+
+def span(value: Union[Interval, Number]) -> float:
+    """Span of an interval (Definition 2); 0 for scalars."""
+    return Interval.coerce(value).span
+
+
+def hull_of(values: Iterable[Union[Interval, Number]]) -> Interval:
+    """Smallest interval covering every value in ``values``."""
+    iterator = iter(values)
+    try:
+        result = Interval.coerce(next(iterator))
+    except StopIteration as exc:
+        raise IntervalError("hull_of() requires at least one value") from exc
+    for value in iterator:
+        result = result.hull(Interval.coerce(value))
+    return result

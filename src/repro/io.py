@@ -1,0 +1,187 @@
+"""Loading and saving interval-valued matrices and decompositions.
+
+Interval data arrives in two common shapes:
+
+* **endpoint pair** — two scalar matrices holding the lower and upper bounds
+  (two CSV files, or one NPZ archive with ``lower``/``upper`` arrays);
+* **wide CSV** — a single CSV in which every logical column ``x`` is stored as
+  two physical columns ``x_lo`` and ``x_hi``.
+
+This module reads and writes both, plus NPZ round-tripping of
+:class:`~repro.core.result.IntervalDecomposition` objects so decompositions can
+be computed once and reused by downstream tooling (the CLI uses these helpers).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.result import DecompositionTarget, IntervalDecomposition
+from repro.interval.array import IntervalMatrix
+from repro.interval.scalar import IntervalError
+
+PathLike = Union[str, Path]
+
+_LO_SUFFIX = "_lo"
+_HI_SUFFIX = "_hi"
+
+
+# --------------------------------------------------------------------------- #
+# CSV
+# --------------------------------------------------------------------------- #
+def save_interval_csv(matrix: IntervalMatrix, path: PathLike,
+                      column_names: Optional[Sequence[str]] = None) -> None:
+    """Write an interval matrix as a wide CSV (``col_lo``/``col_hi`` pairs)."""
+    matrix = IntervalMatrix.coerce(matrix)
+    if matrix.ndim != 2:
+        raise IntervalError("save_interval_csv expects a 2-D interval matrix")
+    n_rows, n_cols = matrix.shape
+    if column_names is None:
+        column_names = [f"c{j}" for j in range(n_cols)]
+    if len(column_names) != n_cols:
+        raise IntervalError(
+            f"expected {n_cols} column names, got {len(column_names)}"
+        )
+    header: List[str] = []
+    for name in column_names:
+        header.extend([f"{name}{_LO_SUFFIX}", f"{name}{_HI_SUFFIX}"])
+
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(n_rows):
+            row: List[float] = []
+            for j in range(n_cols):
+                row.extend([matrix.lower[i, j], matrix.upper[i, j]])
+            writer.writerow(row)
+
+
+def load_interval_csv(path: PathLike) -> Tuple[IntervalMatrix, List[str]]:
+    """Read a wide CSV written by :func:`save_interval_csv`.
+
+    Returns the interval matrix and the logical column names.  Scalar CSVs
+    (no ``_lo``/``_hi`` suffixes) are accepted and loaded as degenerate
+    intervals.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise IntervalError(f"{path} is empty") from exc
+        rows = [list(map(float, row)) for row in reader if row]
+
+    data = np.asarray(rows, dtype=float) if rows else np.empty((0, len(header)))
+
+    paired = (
+        len(header) % 2 == 0
+        and all(header[i].endswith(_LO_SUFFIX) and header[i + 1].endswith(_HI_SUFFIX)
+                for i in range(0, len(header), 2))
+    )
+    if paired:
+        names = [header[i][: -len(_LO_SUFFIX)] for i in range(0, len(header), 2)]
+        lower = data[:, 0::2]
+        upper = data[:, 1::2]
+        return IntervalMatrix(lower, upper), names
+    return IntervalMatrix.from_scalar(data), list(header)
+
+
+def load_endpoint_csvs(lower_path: PathLike, upper_path: PathLike) -> IntervalMatrix:
+    """Read an interval matrix from two scalar CSVs (no headers required)."""
+    lower = _load_scalar_csv(lower_path)
+    upper = _load_scalar_csv(upper_path)
+    if lower.shape != upper.shape:
+        raise IntervalError(
+            f"endpoint CSVs have different shapes: {lower.shape} vs {upper.shape}"
+        )
+    return IntervalMatrix(lower, upper)
+
+
+def _load_scalar_csv(path: PathLike) -> np.ndarray:
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = []
+        for row in reader:
+            if not row:
+                continue
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError:
+                # Tolerate a single header row of non-numeric labels.
+                if rows:
+                    raise
+    if not rows:
+        raise IntervalError(f"{path} contains no numeric rows")
+    return np.asarray(rows, dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# NPZ
+# --------------------------------------------------------------------------- #
+def save_interval_npz(matrix: IntervalMatrix, path: PathLike) -> None:
+    """Write an interval matrix to a compressed NPZ archive."""
+    matrix = IntervalMatrix.coerce(matrix)
+    np.savez_compressed(Path(path), lower=matrix.lower, upper=matrix.upper)
+
+
+def load_interval_npz(path: PathLike) -> IntervalMatrix:
+    """Read an interval matrix from an NPZ archive with ``lower``/``upper`` arrays."""
+    with np.load(Path(path)) as archive:
+        if "lower" not in archive or "upper" not in archive:
+            raise IntervalError(
+                f"{path} does not contain 'lower' and 'upper' arrays"
+            )
+        return IntervalMatrix(archive["lower"], archive["upper"])
+
+
+# --------------------------------------------------------------------------- #
+# Decompositions
+# --------------------------------------------------------------------------- #
+def _pack_factor(prefix: str, factor, payload: Dict[str, np.ndarray]) -> None:
+    if isinstance(factor, IntervalMatrix):
+        payload[f"{prefix}_lower"] = factor.lower
+        payload[f"{prefix}_upper"] = factor.upper
+    else:
+        payload[prefix] = np.asarray(factor, dtype=float)
+
+
+def _unpack_factor(prefix: str, archive) -> Union[np.ndarray, IntervalMatrix]:
+    if f"{prefix}_lower" in archive:
+        return IntervalMatrix(archive[f"{prefix}_lower"], archive[f"{prefix}_upper"],
+                              check=False)
+    return archive[prefix]
+
+
+def save_decomposition_npz(decomposition: IntervalDecomposition, path: PathLike) -> None:
+    """Write a decomposition (factors, target, method, rank) to an NPZ archive."""
+    payload: Dict[str, np.ndarray] = {}
+    _pack_factor("u", decomposition.u, payload)
+    _pack_factor("sigma", decomposition.sigma, payload)
+    _pack_factor("v", decomposition.v, payload)
+    payload["meta_target"] = np.array(decomposition.target.value)
+    payload["meta_method"] = np.array(decomposition.method)
+    payload["meta_rank"] = np.array(decomposition.rank)
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_decomposition_npz(path: PathLike) -> IntervalDecomposition:
+    """Read a decomposition written by :func:`save_decomposition_npz`."""
+    with np.load(Path(path)) as archive:
+        required = {"meta_target", "meta_method", "meta_rank"}
+        if not required.issubset(set(archive.files)):
+            raise IntervalError(f"{path} is not a decomposition archive")
+        return IntervalDecomposition(
+            u=_unpack_factor("u", archive),
+            sigma=_unpack_factor("sigma", archive),
+            v=_unpack_factor("v", archive),
+            target=DecompositionTarget.coerce(str(archive["meta_target"])),
+            method=str(archive["meta_method"]),
+            rank=int(archive["meta_rank"]),
+        )

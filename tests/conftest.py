@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import make_face_dataset
+from repro.datasets.ratings import make_ratings_dataset
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import random_interval_matrix
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator shared by tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_interval_matrix(rng):
+    """A small dense interval matrix with moderate interval widths."""
+    return random_interval_matrix(
+        shape=(12, 18), interval_density=1.0, interval_intensity=0.5, rng=rng
+    )
+
+
+@pytest.fixture
+def sparse_interval_matrix(rng):
+    """A small interval matrix with zero cells and partial interval coverage."""
+    return random_interval_matrix(
+        shape=(15, 20), matrix_density=0.4, interval_density=0.6,
+        interval_intensity=0.8, rng=rng,
+    )
+
+
+@pytest.fixture
+def scalar_matrix(rng):
+    """A scalar (degenerate) interval matrix."""
+    return IntervalMatrix.from_scalar(rng.uniform(0.0, 1.0, size=(10, 14)))
+
+
+@pytest.fixture(scope="session")
+def tiny_face_dataset():
+    """A small face dataset reused across classification/clustering tests."""
+    return make_face_dataset(
+        n_subjects=6, images_per_subject=5, resolution=12, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_ratings_dataset():
+    """A small ratings dataset reused across collaborative-filtering tests."""
+    return make_ratings_dataset(
+        preset="movielens", n_users=40, n_items=80, n_categories=8,
+        density=0.3, seed=5,
+    )

@@ -1,0 +1,126 @@
+"""Tests for the accuracy measures (Definition 5) and error helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import (
+    accuracy_from_error,
+    harmonic_mean,
+    harmonic_mean_accuracy,
+    interval_rmse,
+    reconstruction_accuracy,
+    relative_error,
+    rmse,
+)
+from repro.core.isvd import isvd
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import random_interval_matrix
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        assert relative_error(matrix, matrix) == 0.0
+
+    def test_one_for_zero_approximation(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        assert relative_error(matrix, np.zeros_like(matrix)) == pytest.approx(1.0)
+
+    def test_zero_original_zero_approximation(self):
+        assert relative_error(np.zeros((3, 3)), np.zeros((3, 3))) == 0.0
+
+    def test_zero_original_nonzero_approximation_is_inf(self):
+        assert relative_error(np.zeros((3, 3)), np.ones((3, 3))) == float("inf")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestAccuracyAndHarmonicMean:
+    def test_accuracy_clamped_at_zero(self):
+        assert accuracy_from_error(1.7) == 0.0
+        assert accuracy_from_error(0.3) == pytest.approx(0.7)
+
+    def test_harmonic_mean_basic(self):
+        assert harmonic_mean(1.0, 1.0) == 1.0
+        assert harmonic_mean(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_harmonic_mean_zero_dominates(self):
+        assert harmonic_mean(0.0, 0.9) == 0.0
+
+    def test_harmonic_mean_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean(-0.1, 0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_harmonic_mean_between_min_and_max(self, a, b):
+        value = harmonic_mean(a, b)
+        if a == 0.0 or b == 0.0:
+            assert value == 0.0
+        else:
+            assert min(a, b) - 1e-12 <= value <= max(a, b) + 1e-12
+
+
+class TestReconstructionAccuracy:
+    def test_perfect_reconstruction(self, small_interval_matrix):
+        report = reconstruction_accuracy(small_interval_matrix, small_interval_matrix.copy())
+        assert report.h_mean == pytest.approx(1.0)
+        assert "H-mean" in str(report)
+
+    def test_degraded_reconstruction_scores_lower(self, small_interval_matrix):
+        noisy = small_interval_matrix + IntervalMatrix.from_scalar(
+            0.3 * np.ones(small_interval_matrix.shape)
+        )
+        perfect = reconstruction_accuracy(small_interval_matrix, small_interval_matrix)
+        degraded = reconstruction_accuracy(small_interval_matrix, noisy)
+        assert degraded.h_mean < perfect.h_mean
+
+    def test_accepts_decomposition_object(self):
+        matrix = random_interval_matrix((12, 15), interval_intensity=0.3, rng=1)
+        decomposition = isvd(matrix, 6, method="isvd4", target="b")
+        direct = harmonic_mean_accuracy(matrix, decomposition)
+        assert 0.0 <= direct <= 1.0
+
+    def test_accepts_reconstruction_matrix(self, small_interval_matrix):
+        score = harmonic_mean_accuracy(small_interval_matrix, small_interval_matrix.copy())
+        assert score == pytest.approx(1.0)
+
+    def test_h_mean_in_unit_interval(self):
+        matrix = random_interval_matrix((10, 12), interval_intensity=1.0, rng=2)
+        for method, target in (("isvd0", "c"), ("isvd4", "b"), ("isvd1", "a")):
+            decomposition = isvd(matrix, 4, method=method, target=target)
+            assert 0.0 <= harmonic_mean_accuracy(matrix, decomposition) <= 1.0
+
+
+class TestRmse:
+    def test_zero_for_identical(self, rng):
+        matrix = rng.normal(size=(4, 4))
+        assert rmse(matrix, matrix) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([[0.0, 0.0]]), np.array([[3.0, 4.0]])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_masked(self):
+        truth = np.array([[1.0, 2.0]])
+        prediction = np.array([[1.0, 5.0]])
+        mask = np.array([[True, False]])
+        assert rmse(truth, prediction, mask) == 0.0
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2), dtype=bool))
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3), dtype=bool))
+
+    def test_interval_rmse_averages_endpoints(self):
+        original = IntervalMatrix([[0.0]], [[2.0]])
+        shifted = IntervalMatrix([[1.0]], [[2.0]])
+        assert interval_rmse(original, shifted) == pytest.approx(0.5)

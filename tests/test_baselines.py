@@ -1,0 +1,159 @@
+"""Tests for the LP eigen-decomposition competitor and interval PCA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.interval_pca import CentersPCA, MidpointRadiusPCA
+from repro.baselines.lp_eig import (
+    LPBaselineError,
+    deif_eigenvalue_bounds,
+    eigenvector_bounds,
+    lp_isvd,
+)
+from repro.core.accuracy import harmonic_mean_accuracy
+from repro.core.isvd import isvd
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import interval_matmul
+from repro.interval.random import random_interval_matrix
+
+
+@pytest.fixture(scope="module")
+def narrow_matrix():
+    """Interval matrix with tiny interval widths (where LP bounds are informative)."""
+    return random_interval_matrix((15, 12), interval_intensity=0.01, rng=3)
+
+
+@pytest.fixture(scope="module")
+def wide_matrix():
+    """Interval matrix with large interval widths (where LP bounds collapse)."""
+    return random_interval_matrix((15, 12), interval_intensity=1.0, rng=3)
+
+
+class TestEigenvalueBounds:
+    def test_bounds_enclose_center_eigenvalues(self, narrow_matrix):
+        gram = interval_matmul(narrow_matrix.T, narrow_matrix)
+        bounds = deif_eigenvalue_bounds(gram, 5)
+        center_vals = np.linalg.eigvalsh(0.5 * (gram.midpoint() + gram.midpoint().T))[::-1][:5]
+        assert np.all(bounds.lower <= center_vals + 1e-8)
+        assert np.all(center_vals <= bounds.upper + 1e-8)
+
+    def test_scalar_matrix_gives_degenerate_bounds(self, rng):
+        matrix = IntervalMatrix.from_scalar(rng.normal(size=(6, 6)))
+        gram = interval_matmul(matrix.T, matrix)
+        bounds = deif_eigenvalue_bounds(gram, 3)
+        np.testing.assert_allclose(bounds.span(), 0.0, atol=1e-8)
+
+    def test_wider_intervals_give_wider_bounds(self, narrow_matrix, wide_matrix):
+        narrow_bounds = deif_eigenvalue_bounds(
+            interval_matmul(narrow_matrix.T, narrow_matrix), 3
+        )
+        wide_bounds = deif_eigenvalue_bounds(
+            interval_matmul(wide_matrix.T, wide_matrix), 3
+        )
+        assert wide_bounds.mean_span() > narrow_bounds.mean_span()
+
+
+class TestEigenvectorBounds:
+    def test_narrow_bounds_tight_around_center(self, narrow_matrix):
+        gram = interval_matmul(narrow_matrix.T, narrow_matrix)
+        _, vectors, lower, upper = eigenvector_bounds(gram, 3)
+        assert np.all(lower <= vectors + 1e-9)
+        assert np.all(vectors <= upper + 1e-9)
+        assert float((upper - lower)[:, 0].mean()) < 0.5
+
+    def test_wide_bounds_become_vacuous(self, wide_matrix):
+        gram = interval_matmul(wide_matrix.T, wide_matrix)
+        _, _, lower, upper = eigenvector_bounds(gram, 5)
+        # At least one trailing eigenvector bound should collapse to the unit box.
+        assert np.any((lower == -1.0) & (upper == 1.0))
+
+    def test_lp_mode_runs_on_small_matrix(self):
+        matrix = random_interval_matrix((8, 6), interval_intensity=0.05, rng=4)
+        gram = interval_matmul(matrix.T, matrix)
+        values, vectors, lower, upper = eigenvector_bounds(gram, 2, mode="lp")
+        assert lower.shape == upper.shape == (6, 2)
+        assert np.all(lower <= upper + 1e-9)
+
+    def test_unknown_mode_raises(self, narrow_matrix):
+        gram = interval_matmul(narrow_matrix.T, narrow_matrix)
+        with pytest.raises(LPBaselineError):
+            eigenvector_bounds(gram, 2, mode="bogus")
+
+    def test_non_square_raises(self):
+        with pytest.raises(LPBaselineError):
+            eigenvector_bounds(IntervalMatrix.zeros((3, 4)), 2)
+
+    def test_bad_rank_raises(self, narrow_matrix):
+        gram = interval_matmul(narrow_matrix.T, narrow_matrix)
+        with pytest.raises(LPBaselineError):
+            eigenvector_bounds(gram, 100)
+
+
+class TestLPDecomposition:
+    @pytest.mark.parametrize("target", ["a", "b", "c"])
+    def test_targets_supported(self, narrow_matrix, target):
+        decomposition = lp_isvd(narrow_matrix, 4, target=target)
+        assert decomposition.method == "LP"
+        assert decomposition.rank == 4
+
+    def test_reasonable_on_narrow_intervals(self, narrow_matrix):
+        decomposition = lp_isvd(narrow_matrix, 10, target="b")
+        assert harmonic_mean_accuracy(narrow_matrix, decomposition) > 0.5
+
+    def test_much_worse_than_isvd_on_wide_intervals(self, wide_matrix):
+        """Reproduces the paper's finding: LP is not competitive for wide intervals."""
+        lp_score = harmonic_mean_accuracy(wide_matrix, lp_isvd(wide_matrix, 10, target="b"))
+        isvd_score = harmonic_mean_accuracy(
+            wide_matrix, isvd(wide_matrix, 10, method="isvd4", target="b")
+        )
+        assert lp_score < isvd_score
+
+    def test_bad_rank_raises(self, narrow_matrix):
+        with pytest.raises(LPBaselineError):
+            lp_isvd(narrow_matrix, 0)
+
+
+class TestCentersPCA:
+    def test_fit_transform_shape(self, small_interval_matrix):
+        scores = CentersPCA(n_components=3).fit_transform(small_interval_matrix)
+        assert scores.shape == (small_interval_matrix.shape[0], 3)
+
+    def test_scalar_input_matches_plain_pca_projection(self, rng):
+        data = rng.normal(size=(30, 8))
+        matrix = IntervalMatrix.from_scalar(data)
+        pca = CentersPCA(n_components=2).fit(matrix)
+        scores = pca.transform(matrix)
+        assert scores.is_scalar(tol=1e-9)
+        # Variance captured by the first component is the largest.
+        variances = scores.midpoint().var(axis=0)
+        assert variances[0] >= variances[1]
+
+    def test_explained_variance_sorted(self, small_interval_matrix):
+        pca = CentersPCA(n_components=3).fit(small_interval_matrix)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_unfitted_transform_raises(self, small_interval_matrix):
+        with pytest.raises(RuntimeError):
+            CentersPCA(n_components=2).transform(small_interval_matrix)
+
+    def test_invalid_components_raises(self):
+        with pytest.raises(ValueError):
+            CentersPCA(n_components=0)
+
+
+class TestMidpointRadiusPCA:
+    def test_fit_transform_shape(self, small_interval_matrix):
+        scores = MidpointRadiusPCA(n_components=3).fit_transform(small_interval_matrix)
+        assert scores.shape == (small_interval_matrix.shape[0], 3)
+
+    def test_radius_information_changes_components(self, rng):
+        data = rng.normal(size=(40, 6))
+        scalar = IntervalMatrix.from_scalar(data)
+        wide = IntervalMatrix(data, data + np.abs(rng.normal(size=data.shape)))
+        pca_scalar = MidpointRadiusPCA(n_components=2).fit(scalar)
+        pca_wide = MidpointRadiusPCA(n_components=2).fit(wide)
+        assert not np.allclose(pca_scalar.components_, pca_wide.components_)
+
+    def test_unfitted_transform_raises(self, small_interval_matrix):
+        with pytest.raises(RuntimeError):
+            MidpointRadiusPCA(n_components=2).transform(small_interval_matrix)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.cli import build_parser, main
+from repro.interval.random import random_interval_matrix
+
+
+@pytest.fixture
+def matrix_csv(tmp_path):
+    matrix = random_interval_matrix((10, 6), interval_intensity=0.5, rng=1)
+    path = tmp_path / "matrix.csv"
+    repro_io.save_interval_csv(matrix, path)
+    return path, matrix
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose", "--csv", "x.csv"])
+        assert args.method == "isvd4" and args.target == "b"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose", "--csv", "x.csv", "--method", "isvd9"])
+
+
+class TestDecomposeCommand:
+    def test_from_csv(self, matrix_csv, capsys):
+        path, _ = matrix_csv
+        exit_code = main(["decompose", "--csv", str(path), "--rank", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "H-mean reconstruction accuracy" in captured
+        assert "ISVD4" in captured
+
+    def test_from_npz_with_output(self, tmp_path, capsys):
+        matrix = random_interval_matrix((8, 5), interval_intensity=0.4, rng=2)
+        npz_path = tmp_path / "matrix.npz"
+        repro_io.save_interval_npz(matrix, npz_path)
+        out_path = tmp_path / "factors.npz"
+        exit_code = main(["decompose", "--npz", str(npz_path), "--rank", "2",
+                          "--method", "isvd1", "--target", "a",
+                          "--output", str(out_path)])
+        assert exit_code == 0
+        loaded = repro_io.load_decomposition_npz(out_path)
+        assert loaded.method == "ISVD1" and loaded.rank == 2
+
+    def test_from_endpoint_csvs(self, tmp_path, capsys):
+        matrix = random_interval_matrix((6, 4), interval_intensity=0.4, rng=3)
+        lower = tmp_path / "lower.csv"
+        upper = tmp_path / "upper.csv"
+        np.savetxt(lower, matrix.lower, delimiter=",")
+        np.savetxt(upper, matrix.upper, delimiter=",")
+        exit_code = main(["decompose", "--lower", str(lower), "--upper", str(upper)])
+        assert exit_code == 0
+
+    def test_missing_input_raises(self):
+        with pytest.raises(SystemExit):
+            main(["decompose"])
+
+    def test_rank_clipped_to_matrix(self, matrix_csv, capsys):
+        path, _ = matrix_csv
+        exit_code = main(["decompose", "--csv", str(path), "--rank", "100"])
+        assert exit_code == 0
+        assert "rank: 6" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_uniform_csv(self, tmp_path, capsys):
+        out = tmp_path / "generated.csv"
+        exit_code = main(["generate", str(out), "--rows", "6", "--cols", "9", "--seed", "1"])
+        assert exit_code == 0
+        matrix, _ = repro_io.load_interval_csv(out)
+        assert matrix.shape == (6, 9)
+
+    def test_generate_anonymized_npz(self, tmp_path):
+        out = tmp_path / "generated.npz"
+        exit_code = main(["generate", str(out), "--kind", "anonymized",
+                          "--rows", "5", "--cols", "7", "--seed", "2"])
+        assert exit_code == 0
+        assert repro_io.load_interval_npz(out).shape == (5, 7)
+
+    def test_generate_then_decompose(self, tmp_path, capsys):
+        out = tmp_path / "generated.csv"
+        main(["generate", str(out), "--rows", "8", "--cols", "10", "--seed", "3"])
+        exit_code = main(["decompose", "--csv", str(out), "--rank", "4"])
+        assert exit_code == 0
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_fig3_runs_and_exports_json(self, tmp_path, capsys, monkeypatch):
+        # Shrink the default config so the CLI experiment stays fast in CI.
+        from repro.datasets.synthetic import SyntheticConfig
+        from repro.experiments import alignment
+
+        small = alignment.AlignmentConfig(
+            synthetic=SyntheticConfig(shape=(15, 30), rank=6), trials=1, seed=0
+        )
+        monkeypatch.setattr(alignment, "AlignmentConfig", lambda: small)
+        json_path = tmp_path / "fig3.json"
+        exit_code = main(["experiment", "fig3", "--json", str(json_path)])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert "fig3" in payload and payload["fig3"]["rows"]

@@ -1,0 +1,120 @@
+"""Tests for the anonymized (generalization) data generator (Section 6.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.anonymized import (
+    GENERALIZATION_LEVELS,
+    PRIVACY_PROFILES,
+    AnonymizationProfile,
+    generalization_interval,
+    generalize_matrix,
+    make_anonymized_matrix,
+)
+
+
+class TestGeneralizationLevels:
+    def test_paper_levels(self):
+        assert GENERALIZATION_LEVELS == {"L1": 100, "L2": 50, "L3": 20, "L4": 5}
+
+    def test_paper_profiles_present(self):
+        assert set(PRIVACY_PROFILES) == {"high", "medium", "low"}
+
+    def test_profile_weights_sum_to_one(self):
+        for profile in PRIVACY_PROFILES.values():
+            assert sum(profile.weights.values()) == pytest.approx(1.0)
+
+    def test_high_privacy_weights_match_paper(self):
+        assert PRIVACY_PROFILES["high"].weights["L4"] == pytest.approx(0.40)
+        assert PRIVACY_PROFILES["low"].weights["L1"] == pytest.approx(0.40)
+
+
+class TestProfileValidation:
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            AnonymizationProfile("x", {"L9": 1.0})
+
+    def test_weights_not_summing_to_one_raises(self):
+        with pytest.raises(ValueError):
+            AnonymizationProfile("x", {"L1": 0.5, "L2": 0.4})
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            AnonymizationProfile("x", {"L1": 1.5, "L2": -0.5})
+
+    def test_level_fractions_ordered(self):
+        profile = PRIVACY_PROFILES["medium"]
+        levels = [level for level, _ in profile.level_fractions()]
+        assert levels == ["L1", "L2", "L3", "L4"]
+
+
+class TestGeneralizationInterval:
+    def test_value_inside_its_bucket(self):
+        lo, hi = generalization_interval(0.37, buckets=10, domain=(0.0, 1.0))
+        assert lo <= 0.37 <= hi
+        assert hi - lo == pytest.approx(0.1)
+
+    def test_value_at_domain_edge(self):
+        lo, hi = generalization_interval(1.0, buckets=5, domain=(0.0, 1.0))
+        assert lo == pytest.approx(0.8) and hi == pytest.approx(1.0)
+
+    def test_invalid_domain_raises(self):
+        with pytest.raises(ValueError):
+            generalization_interval(0.5, buckets=10, domain=(1.0, 0.0))
+
+    def test_invalid_buckets_raises(self):
+        with pytest.raises(ValueError):
+            generalization_interval(0.5, buckets=0, domain=(0.0, 1.0))
+
+
+class TestGeneralizeMatrix:
+    def test_intervals_contain_original_values(self, rng):
+        values = rng.uniform(0, 1, size=(20, 20))
+        matrix = generalize_matrix(values, PRIVACY_PROFILES["medium"], domain=(0, 1), rng=rng)
+        assert np.all(matrix.lower <= values + 1e-12)
+        assert np.all(values <= matrix.upper + 1e-12)
+
+    def test_zero_cells_stay_scalar_zero(self, rng):
+        values = rng.uniform(0, 1, size=(10, 10))
+        values[0, :] = 0.0
+        matrix = generalize_matrix(values, PRIVACY_PROFILES["high"], domain=(0, 1), rng=rng)
+        np.testing.assert_array_equal(matrix.lower[0, :], 0.0)
+        np.testing.assert_array_equal(matrix.upper[0, :], 0.0)
+
+    def test_higher_privacy_wider_intervals(self):
+        rng_values = np.random.default_rng(0)
+        values = rng_values.uniform(0, 1, size=(60, 60))
+        high = generalize_matrix(values, PRIVACY_PROFILES["high"], domain=(0, 1), rng=1)
+        low = generalize_matrix(values, PRIVACY_PROFILES["low"], domain=(0, 1), rng=1)
+        assert high.mean_span() > low.mean_span()
+
+    def test_domain_inferred_when_missing(self, rng):
+        values = rng.uniform(2.0, 3.0, size=(10, 10))
+        matrix = generalize_matrix(values, PRIVACY_PROFILES["medium"], rng=rng)
+        assert matrix.lower.min() >= 2.0 - 1e-9
+        assert matrix.upper.max() <= 3.0 + 1e-9
+
+
+class TestMakeAnonymizedMatrix:
+    def test_shape_and_validity(self):
+        matrix = make_anonymized_matrix(shape=(15, 25), profile="medium", rng=0)
+        assert matrix.shape == (15, 25)
+        assert matrix.is_valid()
+
+    def test_accepts_profile_object(self):
+        matrix = make_anonymized_matrix(shape=(5, 5), profile=PRIVACY_PROFILES["low"], rng=0)
+        assert matrix.shape == (5, 5)
+
+    def test_unknown_profile_name_raises(self):
+        with pytest.raises(ValueError):
+            make_anonymized_matrix(profile="ultra")
+
+    def test_matrix_density_introduces_zeros(self):
+        matrix = make_anonymized_matrix(shape=(40, 40), profile="medium",
+                                        matrix_density=0.5, rng=0)
+        assert float((matrix.midpoint() == 0.0).mean()) > 0.3
+
+    def test_reproducible(self):
+        a = make_anonymized_matrix(shape=(10, 10), profile="high", rng=7)
+        b = make_anonymized_matrix(shape=(10, 10), profile="high", rng=7)
+        assert a == b

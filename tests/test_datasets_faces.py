@@ -1,0 +1,93 @@
+"""Tests for the synthetic face dataset (ORL substitute, supplementary F.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import make_face_dataset, neighborhood_std
+
+
+class TestGeneration:
+    def test_shapes(self, tiny_face_dataset):
+        dataset = tiny_face_dataset
+        assert dataset.images.shape == (30, 144)
+        assert dataset.intervals.shape == (30, 144)
+        assert dataset.labels.shape == (30,)
+        assert dataset.resolution == 12
+
+    def test_counts(self, tiny_face_dataset):
+        assert tiny_face_dataset.n_images == 30
+        assert tiny_face_dataset.n_subjects == 6
+
+    def test_pixels_in_unit_range(self, tiny_face_dataset):
+        assert tiny_face_dataset.images.min() >= 0.0
+        assert tiny_face_dataset.images.max() <= 1.0
+
+    def test_intervals_contain_pixels(self, tiny_face_dataset):
+        dataset = tiny_face_dataset
+        assert np.all(dataset.intervals.lower <= dataset.images + 1e-9)
+        assert np.all(dataset.images <= dataset.intervals.upper + 1e-9)
+
+    def test_labels_are_balanced(self, tiny_face_dataset):
+        _, counts = np.unique(tiny_face_dataset.labels, return_counts=True)
+        assert np.all(counts == 5)
+
+    def test_same_subject_images_more_similar_than_cross_subject(self, tiny_face_dataset):
+        dataset = tiny_face_dataset
+        same = np.linalg.norm(dataset.images[0] - dataset.images[1])
+        cross = np.linalg.norm(dataset.images[0] - dataset.images[5])
+        assert same < cross
+
+    def test_reproducible(self):
+        a = make_face_dataset(n_subjects=3, images_per_subject=2, resolution=8, seed=1)
+        b = make_face_dataset(n_subjects=3, images_per_subject=2, resolution=8, seed=1)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_alpha_scales_interval_width(self):
+        narrow = make_face_dataset(n_subjects=3, images_per_subject=2, resolution=8,
+                                   alpha=0.5, seed=2)
+        wide = make_face_dataset(n_subjects=3, images_per_subject=2, resolution=8,
+                                 alpha=2.0, seed=2)
+        assert wide.intervals.mean_span() > narrow.intervals.mean_span()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            make_face_dataset(n_subjects=1)
+        with pytest.raises(ValueError):
+            make_face_dataset(images_per_subject=1)
+
+    def test_image_grid_reshape(self, tiny_face_dataset):
+        grid = tiny_face_dataset.image_grid(0)
+        assert grid.shape == (12, 12)
+
+
+class TestTrainTestSplit:
+    def test_split_covers_all_indices(self, tiny_face_dataset):
+        train, test = tiny_face_dataset.train_test_split(0.5, rng=0)
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(30))
+
+    def test_every_subject_in_both_splits(self, tiny_face_dataset):
+        train, test = tiny_face_dataset.train_test_split(0.5, rng=0)
+        labels = tiny_face_dataset.labels
+        assert set(labels[train]) == set(labels[test]) == set(range(6))
+
+    def test_invalid_fraction_raises(self, tiny_face_dataset):
+        with pytest.raises(ValueError):
+            tiny_face_dataset.train_test_split(1.5)
+
+
+class TestNeighborhoodStd:
+    def test_constant_image_has_zero_std(self):
+        assert np.allclose(neighborhood_std(np.ones((8, 8)), radius=1), 0.0)
+
+    def test_edge_pixel_has_higher_std(self):
+        image = np.zeros((8, 8))
+        image[:, 4:] = 1.0
+        stds = neighborhood_std(image, radius=1)
+        assert stds[0, 4] > stds[0, 0]
+
+    def test_shape_preserved(self):
+        assert neighborhood_std(np.random.default_rng(0).random((6, 7)), radius=2).shape == (6, 7)
+
+    def test_invalid_radius_raises(self):
+        with pytest.raises(ValueError):
+            neighborhood_std(np.ones((4, 4)), radius=0)

@@ -1,0 +1,155 @@
+"""Tests for the synthetic ratings datasets and interval constructions (supp. F.2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ratings import (
+    SOCIAL_MEDIA_PRESETS,
+    RatingsDataset,
+    make_ratings_dataset,
+    rating_interval_matrix,
+    user_category_interval_matrix,
+)
+
+
+class TestPresets:
+    def test_paper_presets_exist(self):
+        assert set(SOCIAL_MEDIA_PRESETS) == {"ciao", "epinions", "movielens"}
+
+    def test_category_counts_match_paper(self):
+        assert SOCIAL_MEDIA_PRESETS["ciao"].n_categories == 28
+        assert SOCIAL_MEDIA_PRESETS["epinions"].n_categories == 27
+        assert SOCIAL_MEDIA_PRESETS["movielens"].n_categories == 19
+
+    def test_full_sizes_recorded(self):
+        assert SOCIAL_MEDIA_PRESETS["movielens"].full_n_users == 943
+        assert SOCIAL_MEDIA_PRESETS["movielens"].full_n_items == 1682
+
+
+class TestGeneration:
+    def test_shapes_and_values(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+        assert dataset.ratings.shape == (40, 80)
+        observed = dataset.ratings[dataset.observed_mask]
+        assert observed.min() >= 1.0 and observed.max() <= 5.0
+
+    def test_density_close_to_requested(self, tiny_ratings_dataset):
+        assert 0.2 < tiny_ratings_dataset.density < 0.4
+
+    def test_every_category_has_items(self, tiny_ratings_dataset):
+        assert set(tiny_ratings_dataset.item_categories) == set(range(8))
+
+    def test_preset_geometry(self):
+        dataset = make_ratings_dataset(preset="ciao", n_users=50, n_items=100, seed=0)
+        assert dataset.n_categories == 28
+        assert dataset.name == "ciao"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            make_ratings_dataset(preset="netflix")
+
+    def test_custom_requires_all_parameters(self):
+        with pytest.raises(ValueError):
+            make_ratings_dataset(preset=None, n_users=10)
+
+    def test_too_many_categories_raises(self):
+        with pytest.raises(ValueError):
+            make_ratings_dataset(preset=None, n_users=10, n_items=5, n_categories=10,
+                                 density=0.5)
+
+    def test_reproducible(self):
+        a = make_ratings_dataset(preset="movielens", n_users=20, n_items=30, seed=3)
+        b = make_ratings_dataset(preset="movielens", n_users=20, n_items=30, seed=3)
+        np.testing.assert_array_equal(a.ratings, b.ratings)
+
+
+class TestHoldoutSplit:
+    def test_masks_partition_observed_cells(self, tiny_ratings_dataset):
+        train, test = tiny_ratings_dataset.holdout_split(0.25, rng=0)
+        observed = tiny_ratings_dataset.observed_mask
+        assert not (train & test).any()
+        np.testing.assert_array_equal(train | test, observed)
+
+    def test_test_fraction_roughly_respected(self, tiny_ratings_dataset):
+        train, test = tiny_ratings_dataset.holdout_split(0.3, rng=0)
+        fraction = test.sum() / (train.sum() + test.sum())
+        assert 0.2 < fraction < 0.4
+
+    def test_invalid_fraction_raises(self, tiny_ratings_dataset):
+        with pytest.raises(ValueError):
+            tiny_ratings_dataset.holdout_split(0.0)
+
+
+class TestUserCategoryMatrix:
+    def test_shape(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        assert matrix.shape == (40, 8)
+
+    def test_intervals_are_min_max_of_ratings(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+        matrix = user_category_interval_matrix(dataset)
+        user, category = 0, int(dataset.item_categories[np.flatnonzero(dataset.observed_mask[0])[0]])
+        items = np.flatnonzero((dataset.item_categories == category) & dataset.observed_mask[user])
+        ratings = dataset.ratings[user, items]
+        assert matrix.lower[user, category] == ratings.min()
+        assert matrix.upper[user, category] == ratings.max()
+
+    def test_unrated_categories_are_scalar_zero(self):
+        ratings = np.zeros((3, 4))
+        ratings[0, 0] = 5.0
+        dataset = RatingsDataset(ratings=ratings, item_categories=np.array([0, 0, 1, 1]),
+                                 n_categories=2)
+        matrix = user_category_interval_matrix(dataset)
+        assert matrix.lower[1, 0] == matrix.upper[1, 0] == 0.0
+        assert matrix.upper[0, 0] == 5.0
+
+    def test_result_is_valid(self, tiny_ratings_dataset):
+        assert user_category_interval_matrix(tiny_ratings_dataset).is_valid()
+
+
+class TestRatingIntervalMatrix:
+    def test_shape_and_validity(self, tiny_ratings_dataset):
+        matrix = rating_interval_matrix(tiny_ratings_dataset, alpha=0.5)
+        assert matrix.shape == tiny_ratings_dataset.ratings.shape
+        assert matrix.is_valid()
+
+    def test_unobserved_cells_stay_scalar_zero(self, tiny_ratings_dataset):
+        matrix = rating_interval_matrix(tiny_ratings_dataset, alpha=0.5)
+        unobserved = ~tiny_ratings_dataset.observed_mask
+        np.testing.assert_array_equal(matrix.lower[unobserved], 0.0)
+        np.testing.assert_array_equal(matrix.upper[unobserved], 0.0)
+
+    def test_ratings_are_interval_midpoints(self, tiny_ratings_dataset):
+        matrix = rating_interval_matrix(tiny_ratings_dataset, alpha=0.5)
+        observed = tiny_ratings_dataset.observed_mask
+        np.testing.assert_allclose(matrix.midpoint()[observed],
+                                   tiny_ratings_dataset.ratings[observed], atol=1e-9)
+
+    def test_alpha_zero_gives_scalar_matrix(self, tiny_ratings_dataset):
+        matrix = rating_interval_matrix(tiny_ratings_dataset, alpha=0.0)
+        assert matrix.is_scalar(tol=1e-12)
+
+    def test_larger_alpha_wider_intervals(self, tiny_ratings_dataset):
+        narrow = rating_interval_matrix(tiny_ratings_dataset, alpha=0.25)
+        wide = rating_interval_matrix(tiny_ratings_dataset, alpha=1.0)
+        assert wide.mean_span() > narrow.mean_span()
+
+    def test_negative_alpha_raises(self, tiny_ratings_dataset):
+        with pytest.raises(ValueError):
+            rating_interval_matrix(tiny_ratings_dataset, alpha=-1.0)
+
+    def test_delta_matches_union_std_definition(self):
+        """The half-width equals alpha * std of the union of row/column ratings."""
+        ratings = np.array([
+            [5.0, 3.0, 0.0],
+            [4.0, 0.0, 2.0],
+            [0.0, 1.0, 0.0],
+        ])
+        dataset = RatingsDataset(ratings=ratings, item_categories=np.array([0, 1, 2]),
+                                 n_categories=3)
+        alpha = 0.5
+        matrix = rating_interval_matrix(dataset, alpha=alpha)
+        # Cell (0, 0): row 0 has {5, 3}, column 0 has {5, 4}; union multiset {5, 3, 4}.
+        union = np.array([5.0, 3.0, 4.0])
+        expected_delta = alpha * union.std()
+        assert matrix.upper[0, 0] - ratings[0, 0] == pytest.approx(expected_delta)

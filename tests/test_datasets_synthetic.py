@@ -1,0 +1,102 @@
+"""Tests for the uniform synthetic data generators (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    density_sweep,
+    generate_trials,
+    intensity_sweep,
+    make_uniform_interval_matrix,
+    matrix_density_sweep,
+    rank_sweep,
+    shape_sweep,
+)
+
+
+class TestSyntheticConfig:
+    def test_defaults_match_paper(self):
+        config = SyntheticConfig()
+        assert config.shape == (40, 250)
+        assert config.matrix_density == 0.0
+        assert config.interval_density == 1.0
+        assert config.interval_intensity == 1.0
+        assert config.rank == 20
+
+    def test_with_replaces_fields(self):
+        config = SyntheticConfig().with_(rank=5, interval_density=0.5)
+        assert config.rank == 5 and config.interval_density == 0.5
+        assert config.shape == (40, 250)
+
+    def test_describe_mentions_key_parameters(self):
+        text = SyntheticConfig().describe()
+        assert "40x250" in text and "rank=20" in text
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(shape=(10, 10), rank=20)
+
+    def test_invalid_density_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(matrix_density=1.5)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(shape=(0, 10))
+
+
+class TestGeneration:
+    def test_matrix_shape_matches_config(self):
+        config = SyntheticConfig(shape=(12, 20), rank=5)
+        matrix = make_uniform_interval_matrix(config, rng=0)
+        assert matrix.shape == (12, 20)
+
+    def test_default_config_is_fully_interval_valued(self):
+        matrix = make_uniform_interval_matrix(SyntheticConfig(shape=(30, 30), rank=5), rng=0)
+        assert (matrix.span() > 0).mean() > 0.9
+
+    def test_zero_intensity_gives_scalar_matrix(self):
+        config = SyntheticConfig(shape=(10, 10), rank=3, interval_intensity=0.0)
+        assert make_uniform_interval_matrix(config, rng=0).is_scalar()
+
+    def test_generate_trials_count_and_independence(self):
+        config = SyntheticConfig(shape=(8, 8), rank=2)
+        trials = list(generate_trials(config, trials=4, seed=1))
+        assert len(trials) == 4
+        assert not trials[0].allclose(trials[1])
+
+    def test_generate_trials_reproducible(self):
+        config = SyntheticConfig(shape=(8, 8), rank=2)
+        a = list(generate_trials(config, trials=2, seed=9))
+        b = list(generate_trials(config, trials=2, seed=9))
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_generate_trials_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            list(generate_trials(trials=0))
+
+
+class TestSweeps:
+    def test_density_sweep_varies_only_density(self):
+        configs = density_sweep()
+        assert len({c.interval_density for c in configs}) == len(configs)
+        assert len({c.shape for c in configs}) == 1
+
+    def test_intensity_sweep(self):
+        configs = intensity_sweep(intensities=(0.1, 0.9))
+        assert [c.interval_intensity for c in configs] == [0.1, 0.9]
+
+    def test_matrix_density_sweep(self):
+        configs = matrix_density_sweep()
+        assert configs[0].matrix_density == 0.0
+
+    def test_shape_sweep_clips_rank(self):
+        base = SyntheticConfig(rank=40)
+        configs = shape_sweep(base, shapes=((25, 400), (400, 250)))
+        assert configs[0].rank == 25
+        assert configs[1].rank == 40
+
+    def test_rank_sweep(self):
+        configs = rank_sweep(ranks=(5, 10))
+        assert [c.rank for c in configs] == [5, 10]

@@ -1,0 +1,70 @@
+"""Tests for the collaborative-filtering evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ipmf import PMF
+from repro.core.isvd import isvd
+from repro.datasets.ratings import user_category_interval_matrix
+from repro.eval.cf import rating_prediction_rmse, reconstruction_rating_rmse
+from repro.interval.array import IntervalMatrix
+
+
+class TestRatingPredictionRmse:
+    def test_perfect_model_scores_zero(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+
+        class PerfectModel:
+            def predict(self):
+                return dataset.ratings.copy()
+
+        _, test_mask = dataset.holdout_split(0.2, rng=0)
+        assert rating_prediction_rmse(PerfectModel(), dataset.ratings, test_mask) == 0.0
+
+    def test_predictions_are_clipped(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+
+        class WildModel:
+            def predict(self):
+                return np.full_like(dataset.ratings, 100.0)
+
+        _, test_mask = dataset.holdout_split(0.2, rng=0)
+        score = rating_prediction_rmse(WildModel(), dataset.ratings, test_mask)
+        # Clipping to 5 bounds the worst-case error by |5 - 1| = 4.
+        assert score <= 4.0
+
+    def test_empty_test_mask_raises(self, tiny_ratings_dataset):
+        model = PMF(rank=2, epochs=1).fit(tiny_ratings_dataset.ratings)
+        with pytest.raises(ValueError):
+            rating_prediction_rmse(model, tiny_ratings_dataset.ratings,
+                                   np.zeros_like(tiny_ratings_dataset.ratings, dtype=bool))
+
+    def test_fitted_pmf_produces_finite_score(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+        train_mask, test_mask = dataset.holdout_split(0.2, rng=0)
+        model = PMF(rank=4, epochs=15, seed=0).fit(dataset.ratings * train_mask,
+                                                   mask=train_mask)
+        score = rating_prediction_rmse(model, dataset.ratings, test_mask)
+        assert 0.0 < score < 4.0
+
+
+class TestReconstructionRatingRmse:
+    def test_accepts_decomposition(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        decomposition = isvd(matrix, rank=4, method="isvd4", target="b")
+        mask = matrix.midpoint() != 0.0
+        score = reconstruction_rating_rmse(decomposition, matrix.midpoint(), mask)
+        assert 0.0 <= score < 4.0
+
+    def test_accepts_interval_matrix(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        mask = matrix.midpoint() != 0.0
+        clipped_truth = np.clip(matrix.midpoint(), 1.0, 5.0)
+        score = reconstruction_rating_rmse(matrix, clipped_truth, mask)
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_scalar_truth_wrapped(self):
+        reconstruction = IntervalMatrix.from_scalar(np.full((2, 2), 3.0))
+        truth = np.full((2, 2), 4.0)
+        mask = np.ones((2, 2), dtype=bool)
+        assert reconstruction_rating_rmse(reconstruction, truth, mask) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Tests for interval-aware nearest-neighbour classification and K-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.kmeans import IntervalKMeans, kmeans_nmi
+from repro.eval.knn import (
+    IntervalNearestNeighbor,
+    nn_classification_f1,
+    pairwise_interval_distances,
+)
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import interval_euclidean_distance
+
+
+def _two_blob_features(rng, n_per_class=20, dim=4, separation=5.0):
+    a = rng.normal(size=(n_per_class, dim))
+    b = rng.normal(size=(n_per_class, dim)) + separation
+    features = np.vstack([a, b])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    return features, labels
+
+
+class TestPairwiseDistances:
+    def test_matches_interval_euclidean_distance(self, rng):
+        a_base = rng.normal(size=(3, 5))
+        b_base = rng.normal(size=(4, 5))
+        a = IntervalMatrix(a_base, a_base + rng.random((3, 5)))
+        b = IntervalMatrix(b_base, b_base + rng.random((4, 5)))
+        distances = pairwise_interval_distances(a, b)
+        assert distances.shape == (3, 4)
+        expected = interval_euclidean_distance(a.row(1), b.row(2))
+        assert distances[1, 2] == pytest.approx(expected)
+
+    def test_scalar_features_accepted(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(5, 4))
+        assert pairwise_interval_distances(a, b).shape == (3, 5)
+
+    def test_width_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_interval_distances(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)))
+
+
+class TestNearestNeighbor:
+    def test_separable_scalar_data(self, rng):
+        features, labels = _two_blob_features(rng)
+        classifier = IntervalNearestNeighbor().fit(features, labels)
+        predictions = classifier.predict(features + 0.01)
+        assert (predictions == labels).mean() > 0.95
+
+    def test_separable_interval_data(self, rng):
+        features, labels = _two_blob_features(rng)
+        intervals = IntervalMatrix(features - 0.1, features + 0.1)
+        classifier = IntervalNearestNeighbor().fit(intervals, labels)
+        predictions = classifier.predict(intervals)
+        assert (predictions == labels).mean() == 1.0
+
+    def test_f1_helper_on_split(self, rng):
+        features, labels = _two_blob_features(rng, n_per_class=30)
+        order = rng.permutation(features.shape[0])
+        train, test = order[:40], order[40:]
+        score = nn_classification_f1(features[train], labels[train],
+                                     features[test], labels[test])
+        assert score > 0.9
+
+    def test_fit_validation(self, rng):
+        with pytest.raises(ValueError):
+            IntervalNearestNeighbor().fit(rng.normal(size=(3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            IntervalNearestNeighbor().fit(np.empty((0, 2)), np.array([]))
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            IntervalNearestNeighbor().predict(rng.normal(size=(2, 2)))
+
+
+class TestIntervalKMeans:
+    def test_recovers_two_blobs(self, rng):
+        features, labels = _two_blob_features(rng, separation=8.0)
+        clustering = IntervalKMeans(n_clusters=2, seed=0).fit_predict(features)
+        assert kmeans_nmi(features, labels, n_clusters=2, seed=0) > 0.9
+        assert set(np.unique(clustering)) <= {0, 1}
+
+    def test_interval_features_supported(self, rng):
+        features, labels = _two_blob_features(rng, separation=8.0)
+        intervals = IntervalMatrix(features - 0.05, features + 0.05)
+        assert kmeans_nmi(intervals, labels, n_clusters=2, seed=0) > 0.9
+
+    def test_inertia_recorded_and_nonnegative(self, rng):
+        features, _ = _two_blob_features(rng)
+        model = IntervalKMeans(n_clusters=2, seed=0).fit(features)
+        assert model.inertia_ >= 0.0
+        assert model.cluster_centers_.shape[0] == 2
+
+    def test_more_clusters_lower_inertia(self, rng):
+        features, _ = _two_blob_features(rng, n_per_class=25)
+        inertia_2 = IntervalKMeans(n_clusters=2, seed=0).fit(features).inertia_
+        inertia_6 = IntervalKMeans(n_clusters=6, seed=0).fit(features).inertia_
+        assert inertia_6 <= inertia_2 + 1e-9
+
+    def test_too_many_clusters_raises(self, rng):
+        with pytest.raises(ValueError):
+            IntervalKMeans(n_clusters=10).fit(rng.normal(size=(4, 2)))
+
+    def test_invalid_cluster_count_raises(self):
+        with pytest.raises(ValueError):
+            IntervalKMeans(n_clusters=0)
+
+    def test_kmeans_nmi_default_cluster_count(self, rng):
+        features, labels = _two_blob_features(rng, separation=8.0)
+        assert kmeans_nmi(features, labels, seed=0) > 0.9

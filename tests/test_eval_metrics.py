@@ -1,0 +1,121 @@
+"""Tests for the classification/clustering/regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    accuracy_score,
+    f1_macro,
+    normalized_mutual_information,
+    rmse_score,
+)
+
+
+class TestF1Macro:
+    def test_perfect_prediction(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_macro(labels, labels) == 1.0
+
+    def test_all_wrong_prediction(self):
+        truth = np.array([0, 0, 1, 1])
+        prediction = np.array([1, 1, 0, 0])
+        assert f1_macro(truth, prediction) == 0.0
+
+    def test_known_value(self):
+        truth = np.array([0, 0, 1, 1])
+        prediction = np.array([0, 1, 1, 1])
+        # class 0: precision 1, recall 0.5 -> F1 = 2/3; class 1: precision 2/3, recall 1 -> 0.8.
+        assert f1_macro(truth, prediction) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_missing_class_in_prediction(self):
+        truth = np.array([0, 1, 2])
+        prediction = np.array([0, 1, 1])
+        assert 0.0 < f1_macro(truth, prediction) < 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            f1_macro(np.array([0, 1]), np.array([0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            f1_macro(np.array([]), np.array([]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=30),
+           st.lists(st.integers(0, 3), min_size=2, max_size=30))
+    def test_bounded_between_zero_and_one(self, truth, prediction):
+        size = min(len(truth), len(prediction))
+        score = f1_macro(np.array(truth[:size]), np.array(prediction[:size]))
+        assert 0.0 <= score <= 1.0
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(np.array([1, 2]), np.array([1, 3])) == 0.5
+
+
+class TestNMI:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_cluster_ids_still_perfect(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        prediction = np.array([5, 5, 9, 9, 7, 7])
+        assert normalized_mutual_information(truth, prediction) == pytest.approx(1.0)
+
+    def test_independent_labelings_score_low(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 4, size=2000)
+        prediction = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(truth, prediction) < 0.05
+
+    def test_single_cluster_gives_zero(self):
+        truth = np.array([0, 1, 0, 1])
+        prediction = np.zeros(4, dtype=int)
+        assert normalized_mutual_information(truth, prediction) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 5, size=100)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=4, max_size=40),
+           st.integers(0, 1000))
+    def test_bounded(self, labels, seed):
+        labels = np.array(labels)
+        prediction = np.random.default_rng(seed).integers(0, 3, size=labels.size)
+        score = normalized_mutual_information(labels, prediction)
+        assert 0.0 <= score <= 1.0
+
+
+class TestRmseScore:
+    def test_zero_for_identical(self):
+        values = np.arange(6.0).reshape(2, 3)
+        assert rmse_score(values, values) == 0.0
+
+    def test_known_value(self):
+        assert rmse_score(np.array([0.0, 0.0]), np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_masked(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        prediction = np.array([1.0, 2.0, 100.0])
+        mask = np.array([True, True, False])
+        assert rmse_score(truth, prediction, mask) == 0.0
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            rmse_score(np.zeros(3), np.zeros(3), np.zeros(3, dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse_score(np.zeros(3), np.zeros(4))

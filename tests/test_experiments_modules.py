@@ -1,0 +1,184 @@
+"""Integration tests: every experiment module runs end to end on tiny configs.
+
+These tests use much smaller workloads than the experiment defaults; they check
+that each table/figure harness produces well-formed rows and, where cheap to
+verify, the qualitative relationships the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.experiments import (
+    alignment,
+    fig6_overview,
+    fig7_anonymized,
+    fig8_faces,
+    fig9_social,
+    fig10_cf,
+    table2_sweeps,
+    table3_clustering,
+)
+
+TINY_SYNTHETIC = SyntheticConfig(shape=(20, 40), rank=8)
+
+
+@pytest.fixture(scope="module")
+def tiny_face_config():
+    return fig8_faces.Figure8Config(
+        n_subjects=6, images_per_subject=5, resolution=12,
+        reconstruction_ranks=(4, 10), classification_ranks=(4, 8),
+        nmf_iterations=20, seed=1,
+    )
+
+
+class TestAlignmentExperiments:
+    def test_figure3_rows_and_improvement(self):
+        config = alignment.AlignmentConfig(synthetic=TINY_SYNTHETIC, trials=2, seed=1)
+        result = alignment.run_figure3(config)
+        assert len(result.rows) == TINY_SYNTHETIC.rank
+        before = np.array(result.column("|cos| before alignment"))
+        after = np.array(result.column("|cos| after alignment"))
+        assert after.mean() >= before.mean() - 1e-9
+
+    def test_figure5_v_similarity_improves(self):
+        config = alignment.AlignmentConfig(synthetic=TINY_SYNTHETIC, trials=2, seed=1)
+        result = alignment.run_figure5(config)
+        v_before = np.array(result.column("V |cos| before"))
+        v_after = np.array(result.column("V |cos| after"))
+        assert v_after.mean() >= v_before.mean() - 0.05
+
+    def test_result_text_renders(self):
+        config = alignment.AlignmentConfig(synthetic=TINY_SYNTHETIC, trials=1, seed=0)
+        text = alignment.run_figure3(config).to_text()
+        assert "Figure 3" in text and "note:" in text
+
+
+class TestFigure6:
+    def test_accuracy_table_shape_and_paper_ordering(self):
+        config = fig6_overview.Figure6Config(synthetic=TINY_SYNTHETIC, trials=1,
+                                             include_lp=False)
+        result = fig6_overview.run_accuracy(config)
+        rows = result.as_dict_rows()
+        scores = {row["method"]: row["H-mean"] for row in rows}
+        assert len(rows) == 13
+        # Option-b methods should not be worse than the naive ISVD0 baseline.
+        assert scores["ISVD4-b"] >= scores["ISVD0"] - 0.05
+        assert all(0.0 <= row["H-mean"] <= 1.0 for row in rows)
+
+    def test_timing_table(self):
+        config = fig6_overview.Figure6Config(synthetic=TINY_SYNTHETIC, trials=1,
+                                             include_lp=False)
+        result = fig6_overview.run_timings(config)
+        assert len(result.rows) == 5
+        totals = result.column("total")
+        assert all(total >= 0.0 for total in totals)
+
+    def test_run_returns_both_parts(self):
+        config = fig6_overview.Figure6Config(synthetic=TINY_SYNTHETIC, trials=1,
+                                             include_lp=False)
+        results = fig6_overview.run(config)
+        assert set(results) == {"accuracy", "timings"}
+
+
+class TestTable2:
+    def test_single_subtable(self):
+        config = table2_sweeps.Table2Config(base=TINY_SYNTHETIC, trials=1)
+        result = table2_sweeps.run_interval_density(config)
+        assert len(result.rows) == 4
+        assert result.headers[1:] == ["ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"]
+
+    def test_rank_sweep_accuracy_grows_with_rank(self):
+        config = table2_sweeps.Table2Config(base=TINY_SYNTHETIC, trials=1)
+        result = table2_sweeps.run_target_rank(config)
+        isvd4_scores = result.column("ISVD4-b")
+        assert isvd4_scores[-1] >= isvd4_scores[0]
+
+    def test_unknown_subtable_raises(self):
+        with pytest.raises(ValueError):
+            table2_sweeps.run(subtables=("z",))
+
+    def test_run_selected_subtables(self):
+        config = table2_sweeps.Table2Config(base=TINY_SYNTHETIC, trials=1)
+        results = table2_sweeps.run(config, subtables=("a", "e"))
+        assert set(results) == {"a", "e"}
+
+
+class TestFigure7:
+    def test_profile_table(self):
+        config = fig7_anonymized.Figure7Config(shape=(20, 40), trials=1,
+                                               rank_fractions=(1.0, 0.25))
+        result = fig7_anonymized.run_profile("medium", config)
+        assert len(result.rows) == 13
+        assert any("order" in header for header in result.headers)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            fig7_anonymized.run_profile("ultra")
+
+    def test_orders_are_a_permutation(self):
+        config = fig7_anonymized.Figure7Config(shape=(20, 40), trials=1,
+                                               rank_fractions=(0.5,))
+        result = fig7_anonymized.run_profile("low", config)
+        orders = result.column("50% rank order")
+        assert sorted(orders) == list(range(1, 14))
+
+
+class TestFigure8:
+    def test_reconstruction_table(self, tiny_face_config):
+        result = fig8_faces.run_reconstruction(tiny_face_config,
+                                               methods=("NMF", "ISVD0", "ISVD4-b"))
+        assert len(result.rows) == 2
+        assert all(value >= 0 for row in result.rows for value in row[1:])
+
+    def test_isvd_reconstruction_not_worse_than_nmf(self, tiny_face_config):
+        result = fig8_faces.run_reconstruction(tiny_face_config,
+                                               methods=("NMF", "ISVD4-b"))
+        for row in result.as_dict_rows():
+            assert row["ISVD4-b"] <= row["NMF"] * 1.25
+
+    def test_classification_table(self, tiny_face_config):
+        result = fig8_faces.run_nn_classification(
+            tiny_face_config, methods=("NMF", "ISVD2-b"))
+        for row in result.as_dict_rows():
+            assert 0.0 <= row["ISVD2-b"] <= 1.0
+
+    def test_clustering_table(self, tiny_face_config):
+        result = fig8_faces.run_clustering(tiny_face_config, methods=("ISVD1-b",))
+        for row in result.as_dict_rows():
+            assert 0.0 <= row["ISVD1-b"] <= 1.0
+
+
+class TestTable3:
+    def test_rows_per_resolution(self):
+        config = table3_clustering.Table3Config(resolutions=(12,), n_subjects=6,
+                                                images_per_subject=5, rank=8)
+        result = table3_clustering.run(config)
+        assert len(result.rows) == 1
+        row = result.as_dict_rows()[0]
+        assert row["resolution"] == "12x12"
+        assert row["scalar time (s)"] > 0.0
+
+
+class TestFigure9:
+    def test_dataset_table(self):
+        config = fig9_social.Figure9Config(scale=0.2, rank_fractions=(1.0, 0.5))
+        result = fig9_social.run_dataset("movielens", config)
+        assert len(result.rows) == 13
+        h_means = result.column("100% rank (=19) H-mean")
+        assert all(0.0 <= value <= 1.0 for value in h_means)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            fig9_social.run_dataset("netflix")
+
+
+class TestFigure10:
+    def test_rmse_table(self):
+        config = fig10_cf.Figure10Config(n_users=60, n_items=120, n_categories=8,
+                                         ranks=(4, 10), epochs=10, seed=3)
+        result = fig10_cf.run(config)
+        assert len(result.rows) == 2
+        for row in result.as_dict_rows():
+            for model in ("PMF", "I-PMF", "AI-PMF"):
+                assert 0.0 < row[model] < 4.0

@@ -1,0 +1,116 @@
+"""Tests for the experiment report formatter and shared runner plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    DEFAULT_METHOD_GRID,
+    ExperimentResult,
+    MethodSpec,
+    average_hmean,
+    evaluate_grid,
+    isvd_grid,
+    rank_order,
+)
+from repro.interval.random import random_interval_matrix
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "2.500" in text
+        assert "-" in text
+
+    def test_precision(self):
+        text = format_table(["v"], [[0.123456]], precision=2)
+        assert "0.12" in text
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("ISVD4", [1, 2], [0.5, 0.6])
+        assert text.startswith("ISVD4:")
+        assert "1:0.500" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult(name="demo", headers=["method", "score"])
+        result.add_row("ISVD4", 0.9)
+        result.add_row("ISVD0", 0.5)
+        assert result.column("score") == [0.9, 0.5]
+
+    def test_to_text_includes_notes(self):
+        result = ExperimentResult(name="demo", headers=["x"])
+        result.add_row(1)
+        result.add_note("hello")
+        assert "note: hello" in result.to_text()
+
+    def test_as_dict_rows(self):
+        result = ExperimentResult(name="demo", headers=["method", "score"])
+        result.add_row("a", 1.0)
+        assert result.as_dict_rows() == [{"method": "a", "score": 1.0}]
+
+
+class TestMethodGrids:
+    def test_default_grid_is_option_b_family(self):
+        labels = [spec.label for spec in DEFAULT_METHOD_GRID]
+        assert labels == ["ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"]
+
+    def test_isvd_grid_counts(self):
+        specs = isvd_grid(targets=("a", "b", "c"), include_lp=False)
+        # 4 per target + ISVD0 under c.
+        assert len(specs) == 13
+
+    def test_isvd_grid_with_lp(self):
+        specs = isvd_grid(targets=("b",), include_lp=True)
+        assert any(spec.method == "lp" for spec in specs)
+
+    def test_spec_decompose_runs(self):
+        matrix = random_interval_matrix((10, 12), interval_intensity=0.3, rng=0)
+        spec = MethodSpec("ISVD4-b", "isvd4", "b")
+        decomposition = spec.decompose(matrix, 4)
+        assert decomposition.method == "ISVD4"
+        assert spec.option == "b"
+
+    def test_lp_spec_decompose_runs(self):
+        matrix = random_interval_matrix((10, 12), interval_intensity=0.3, rng=0)
+        decomposition = MethodSpec("LP-b", "lp", "b").decompose(matrix, 4)
+        assert decomposition.method == "LP"
+
+
+class TestEvaluation:
+    def test_average_hmean_in_unit_interval(self):
+        matrices = [random_interval_matrix((10, 12), interval_intensity=0.5, rng=s)
+                    for s in range(3)]
+        score = average_hmean(matrices, MethodSpec("ISVD4-b", "isvd4", "b"), 5)
+        assert 0.0 <= score <= 1.0
+
+    def test_evaluate_grid_keys(self):
+        matrices = [random_interval_matrix((8, 10), interval_intensity=0.5, rng=0)]
+        scores = evaluate_grid(matrices, DEFAULT_METHOD_GRID, 4)
+        assert set(scores) == {spec.label for spec in DEFAULT_METHOD_GRID}
+
+    def test_rank_clipped_to_matrix_size(self):
+        matrices = [random_interval_matrix((6, 8), interval_intensity=0.5, rng=0)]
+        score = average_hmean(matrices, MethodSpec("ISVD1-b", "isvd1", "b"), 100)
+        assert 0.0 <= score <= 1.0
+
+    def test_rank_order(self):
+        order = rank_order({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert order == {"a": 1, "c": 2, "b": 3}

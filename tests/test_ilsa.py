@@ -1,0 +1,187 @@
+"""Tests for interval-valued latent semantic alignment (ILSA, Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ilsa import (
+    AlignmentError,
+    alignment_report,
+    align_factor_set,
+    cosine_similarity_matrix,
+    ilsa,
+    matched_cosines,
+)
+
+
+def random_orthonormal(rank: int, dim: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(dim, rank)))
+    return q
+
+
+class TestCosineSimilarityMatrix:
+    def test_identity_for_same_basis(self):
+        basis = random_orthonormal(4, 10)
+        similarity = cosine_similarity_matrix(basis, basis)
+        np.testing.assert_allclose(similarity, np.eye(4), atol=1e-10)
+
+    def test_values_bounded_by_one(self, rng):
+        a = rng.normal(size=(8, 5))
+        b = rng.normal(size=(8, 5))
+        similarity = cosine_similarity_matrix(a, b)
+        assert np.all(np.abs(similarity) <= 1.0 + 1e-12)
+
+    def test_zero_column_gives_zero_similarity(self):
+        a = np.zeros((4, 2))
+        b = random_orthonormal(2, 4)
+        similarity = cosine_similarity_matrix(a, b)
+        np.testing.assert_allclose(similarity, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AlignmentError):
+            cosine_similarity_matrix(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_requires_2d(self):
+        with pytest.raises(AlignmentError):
+            cosine_similarity_matrix(np.zeros(3), np.zeros(3))
+
+
+class TestIlsaMapping:
+    @pytest.mark.parametrize("method", ["hungarian", "greedy"])
+    def test_identity_alignment(self, method):
+        basis = random_orthonormal(5, 12)
+        result = ilsa(basis, basis, method=method)
+        np.testing.assert_array_equal(result.mapping, np.arange(5))
+        np.testing.assert_array_equal(result.signs, np.ones(5))
+
+    @pytest.mark.parametrize("method", ["hungarian", "greedy"])
+    def test_recovers_permutation(self, method):
+        basis = random_orthonormal(6, 15, seed=1)
+        permutation = np.array([2, 0, 5, 1, 4, 3])
+        permuted = basis[:, permutation]
+        # Align permuted (min side) to basis (max side): column j of the max side
+        # corresponds to column mapping[j] of the min side.
+        result = ilsa(permuted, basis, method=method)
+        assert result.is_permutation()
+        aligned = result.apply_to_columns(permuted)
+        np.testing.assert_allclose(np.abs(np.sum(aligned * basis, axis=0)), 1.0, atol=1e-8)
+
+    @pytest.mark.parametrize("method", ["hungarian", "greedy"])
+    def test_sign_correction(self, method):
+        basis = random_orthonormal(4, 10, seed=2)
+        flipped = basis.copy()
+        flipped[:, 1] *= -1.0
+        flipped[:, 3] *= -1.0
+        result = ilsa(flipped, basis, method=method)
+        aligned = result.apply_to_columns(flipped)
+        # After alignment every column should point in the same direction.
+        dots = np.sum(aligned * basis, axis=0)
+        assert np.all(dots > 0.99)
+
+    def test_unknown_method_raises(self):
+        basis = random_orthonormal(3, 6)
+        with pytest.raises(AlignmentError):
+            ilsa(basis, basis, method="bogus")
+
+    def test_mapping_is_always_permutation(self, rng):
+        a = rng.normal(size=(10, 6))
+        b = rng.normal(size=(10, 6))
+        for method in ("hungarian", "greedy"):
+            assert ilsa(a, b, method=method).is_permutation()
+
+    def test_hungarian_objective_at_least_greedy(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            a = local.normal(size=(12, 7))
+            b = local.normal(size=(12, 7))
+            hungarian = ilsa(a, b, method="hungarian").total_similarity
+            greedy = ilsa(a, b, method="greedy").total_similarity
+            assert hungarian >= greedy - 1e-9
+
+    def test_matched_similarity_not_lower_than_before(self, rng):
+        """Alignment never decreases the average matched |cos|."""
+        a = rng.normal(size=(20, 8))
+        b = rng.normal(size=(20, 8))
+        before = np.abs(matched_cosines(a, b)).mean()
+        after = ilsa(a, b).matched_similarity.mean()
+        assert after >= before - 1e-9
+
+    def test_rank_property(self):
+        basis = random_orthonormal(5, 9)
+        assert ilsa(basis, basis).rank == 5
+
+
+class TestApplyHelpers:
+    def test_apply_to_columns_wrong_width_raises(self):
+        basis = random_orthonormal(3, 6)
+        result = ilsa(basis, basis)
+        with pytest.raises(AlignmentError):
+            result.apply_to_columns(np.zeros((6, 4)))
+
+    def test_apply_to_diagonal_accepts_matrix_or_vector(self):
+        basis = random_orthonormal(3, 6)
+        result = ilsa(basis, basis)
+        vector = np.array([3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(result.apply_to_diagonal(vector), vector)
+        np.testing.assert_array_equal(result.apply_to_diagonal(np.diag(vector)), vector)
+
+    def test_apply_to_diagonal_wrong_length_raises(self):
+        basis = random_orthonormal(3, 6)
+        with pytest.raises(AlignmentError):
+            ilsa(basis, basis).apply_to_diagonal(np.ones(4))
+
+    def test_align_factor_set_preserves_product(self, rng):
+        """Permuting and sign-flipping U and V together leaves U S V^T unchanged."""
+        u = random_orthonormal(4, 8, seed=3)
+        v = random_orthonormal(4, 10, seed=4)
+        s = np.diag([4.0, 3.0, 2.0, 1.0])
+        target_v = v[:, [1, 0, 3, 2]] * np.array([1, -1, 1, -1])
+        alignment = ilsa(v, target_v)
+        u_aligned, s_aligned, v_aligned = align_factor_set(alignment, u, s, v)
+        original = u @ s @ v.T
+        realigned = u_aligned @ s_aligned @ v_aligned.T
+        np.testing.assert_allclose(realigned, original, atol=1e-8)
+
+
+class TestAlignmentReport:
+    def test_report_improvement_nonnegative(self, rng):
+        a = rng.normal(size=(15, 6))
+        b = rng.normal(size=(15, 6))
+        report = alignment_report(a, b)
+        assert report.improvement >= -1e-9
+        assert 0.0 <= report.mean_before <= 1.0
+        assert 0.0 <= report.mean_after <= 1.0
+
+    def test_report_extras_contain_mapping(self, rng):
+        a = rng.normal(size=(10, 4))
+        b = rng.normal(size=(10, 4))
+        report = alignment_report(a, b)
+        assert "mapping" in report.extras and "signs" in report.extras
+
+    def test_perfect_alignment_report(self):
+        basis = random_orthonormal(4, 8)
+        report = alignment_report(basis, basis)
+        assert report.mean_before == pytest.approx(1.0)
+        assert report.mean_after == pytest.approx(1.0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_alignment_objective_never_below_identity_pairing(self, rank, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rank + 4, rank))
+        b = rng.normal(size=(rank + 4, rank))
+        identity_objective = np.abs(matched_cosines(a, b)).sum()
+        assert ilsa(a, b).total_similarity >= identity_objective - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_signs_are_plus_minus_one(self, rank, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(rank + 2, rank))
+        b = rng.normal(size=(rank + 2, rank))
+        result = ilsa(a, b)
+        assert set(np.unique(result.signs)).issubset({-1.0, 1.0})

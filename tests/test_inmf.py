@@ -1,0 +1,146 @@
+"""Tests for the NMF and I-NMF baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.inmf import INMF, NMF
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import random_low_rank_matrix
+
+
+@pytest.fixture(scope="module")
+def nonnegative_matrix():
+    return random_low_rank_matrix((20, 15), rank=4, noise=0.01, nonnegative=True, rng=17)
+
+
+@pytest.fixture(scope="module")
+def nonnegative_interval_matrix(nonnegative_matrix):
+    rng = np.random.default_rng(18)
+    radius = 0.05 * nonnegative_matrix * rng.random(nonnegative_matrix.shape)
+    return IntervalMatrix(np.clip(nonnegative_matrix - radius, 0, None),
+                          nonnegative_matrix + radius)
+
+
+class TestNMF:
+    def test_factors_are_nonnegative(self, nonnegative_matrix):
+        model = NMF(rank=4, max_iter=80, seed=0).fit(nonnegative_matrix)
+        assert model.u.min() >= 0.0 and model.v.min() >= 0.0
+
+    def test_loss_decreases(self, nonnegative_matrix):
+        model = NMF(rank=4, max_iter=80, seed=0).fit(nonnegative_matrix)
+        assert model.history.improved()
+
+    def test_reconstruction_close_at_true_rank(self, nonnegative_matrix):
+        model = NMF(rank=4, max_iter=300, seed=0).fit(nonnegative_matrix)
+        error = np.linalg.norm(nonnegative_matrix - model.reconstruct())
+        assert error / np.linalg.norm(nonnegative_matrix) < 0.2
+
+    def test_interval_input_uses_midpoint(self, nonnegative_interval_matrix):
+        model = NMF(rank=4, max_iter=50, seed=0).fit(nonnegative_interval_matrix)
+        assert model.reconstruct().shape == nonnegative_interval_matrix.shape
+
+    def test_negative_input_raises(self):
+        with pytest.raises(ValueError):
+            NMF(rank=2).fit(-np.ones((3, 3)))
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            NMF(rank=0)
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(RuntimeError):
+            NMF(rank=2).reconstruct()
+
+    def test_features_shape(self, nonnegative_matrix):
+        model = NMF(rank=3, max_iter=30, seed=0).fit(nonnegative_matrix)
+        assert model.features().shape == (20, 3)
+
+    def test_seed_reproducibility(self, nonnegative_matrix):
+        a = NMF(rank=3, max_iter=20, seed=9).fit(nonnegative_matrix)
+        b = NMF(rank=3, max_iter=20, seed=9).fit(nonnegative_matrix)
+        np.testing.assert_allclose(a.u, b.u)
+
+
+class TestINMF:
+    def test_scalar_u_interval_v(self, nonnegative_interval_matrix):
+        model = INMF(rank=4, max_iter=60, seed=1).fit(nonnegative_interval_matrix)
+        assert model.u.shape == (20, 4)
+        assert model.v_lower.shape == model.v_upper.shape == (15, 4)
+
+    def test_all_factors_nonnegative(self, nonnegative_interval_matrix):
+        model = INMF(rank=4, max_iter=60, seed=1).fit(nonnegative_interval_matrix)
+        assert model.u.min() >= 0.0
+        assert model.v_lower.min() >= 0.0 and model.v_upper.min() >= 0.0
+
+    def test_loss_decreases(self, nonnegative_interval_matrix):
+        model = INMF(rank=4, max_iter=60, seed=1).fit(nonnegative_interval_matrix)
+        assert model.history.improved()
+
+    def test_reconstruction_is_valid_interval(self, nonnegative_interval_matrix):
+        model = INMF(rank=4, max_iter=60, seed=1).fit(nonnegative_interval_matrix)
+        reconstruction = model.reconstruct()
+        assert reconstruction.is_valid()
+        assert reconstruction.shape == nonnegative_interval_matrix.shape
+
+    def test_reconstruction_midpoint_close(self, nonnegative_interval_matrix):
+        model = INMF(rank=4, max_iter=300, seed=1).fit(nonnegative_interval_matrix)
+        midpoint = nonnegative_interval_matrix.midpoint()
+        error = np.linalg.norm(midpoint - model.reconstruct().midpoint())
+        assert error / np.linalg.norm(midpoint) < 0.25
+
+    def test_scalar_matrix_accepted(self, nonnegative_matrix):
+        model = INMF(rank=3, max_iter=30, seed=1).fit(nonnegative_matrix)
+        assert model.features().shape == (20, 3)
+
+    def test_negative_input_raises(self):
+        with pytest.raises(ValueError):
+            INMF(rank=2).fit(IntervalMatrix([[-1.0]], [[1.0]]))
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            INMF(rank=-1)
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(RuntimeError):
+            INMF(rank=2).features()
+
+
+class TestAINMF:
+    def test_import_and_fit(self, nonnegative_interval_matrix):
+        from repro.core.inmf import AINMF
+
+        model = AINMF(rank=4, max_iter=40, align_every=5, seed=2)
+        model.fit(nonnegative_interval_matrix)
+        assert model.u.shape == (20, 4)
+        assert model.reconstruct().is_valid()
+
+    def test_factors_stay_nonnegative_after_alignment(self, nonnegative_interval_matrix):
+        from repro.core.inmf import AINMF
+
+        model = AINMF(rank=4, max_iter=40, seed=2).fit(nonnegative_interval_matrix)
+        assert model.v_lower.min() >= 0.0 and model.v_upper.min() >= 0.0
+
+    def test_alignment_improves_or_preserves_latent_similarity(self, nonnegative_interval_matrix):
+        from repro.core.ilsa import matched_cosines
+        from repro.core.inmf import AINMF, INMF
+
+        plain = INMF(rank=4, max_iter=60, seed=2).fit(nonnegative_interval_matrix)
+        aligned = AINMF(rank=4, max_iter=60, align_every=10, seed=2).fit(
+            nonnegative_interval_matrix
+        )
+        plain_cos = np.abs(matched_cosines(plain.v_lower, plain.v_upper)).mean()
+        aligned_cos = np.abs(matched_cosines(aligned.v_lower, aligned.v_upper)).mean()
+        assert aligned_cos >= plain_cos - 0.05
+
+    def test_invalid_align_every_raises(self):
+        from repro.core.inmf import AINMF
+
+        with pytest.raises(ValueError):
+            AINMF(rank=2, align_every=0)
+
+    def test_negative_input_raises(self):
+        from repro.core.inmf import AINMF
+        from repro.interval.array import IntervalMatrix
+
+        with pytest.raises(ValueError):
+            AINMF(rank=2).fit(IntervalMatrix([[-1.0]], [[1.0]]))

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the public API.
+
+These tests chain the library the way a downstream user would: generate data,
+decompose it, reconstruct, evaluate, and compare against the paper's headline
+qualitative claims on small workloads.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AIPMF,
+    IPMF,
+    IntervalMatrix,
+    PMF,
+    harmonic_mean_accuracy,
+    isvd,
+    reconstruct,
+)
+from repro.baselines import lp_isvd
+from repro.datasets import (
+    make_anonymized_matrix,
+    make_face_dataset,
+    make_ratings_dataset,
+    make_uniform_interval_matrix,
+    rating_interval_matrix,
+    user_category_interval_matrix,
+)
+from repro.datasets.synthetic import SyntheticConfig
+from repro.eval import kmeans_nmi, nn_classification_f1, rating_prediction_rmse
+
+
+class TestPackageSurface:
+    def test_version_and_exports(self):
+        assert repro.__version__ == "1.0.0"
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_quickstart_docstring_flow(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, size=(20, 30))
+        matrix = IntervalMatrix(values - 0.05, values + 0.05)
+        decomposition = isvd(matrix, rank=5, method="isvd4", target="b")
+        assert harmonic_mean_accuracy(matrix, decomposition) > 0
+
+
+class TestHeadlineClaims:
+    """Small-scale checks of the paper's main qualitative findings."""
+
+    def test_alignment_beats_naive_on_wide_intervals(self):
+        """ISVD4-b (aligned) >= ISVD0 (naive average) on the paper's default-style data."""
+        config = SyntheticConfig(shape=(30, 80), rank=12)
+        scores = {"isvd0": [], "isvd4": []}
+        for seed in range(3):
+            matrix = make_uniform_interval_matrix(config, rng=seed)
+            scores["isvd0"].append(harmonic_mean_accuracy(
+                matrix, isvd(matrix, config.rank, method="isvd0", target="c")))
+            scores["isvd4"].append(harmonic_mean_accuracy(
+                matrix, isvd(matrix, config.rank, method="isvd4", target="b")))
+        assert np.mean(scores["isvd4"]) >= np.mean(scores["isvd0"])
+
+    def test_option_b_beats_option_a_on_uniform_data(self):
+        matrix = make_uniform_interval_matrix(SyntheticConfig(shape=(30, 60), rank=10), rng=4)
+        option_a = harmonic_mean_accuracy(matrix, isvd(matrix, 10, method="isvd4", target="a"))
+        option_b = harmonic_mean_accuracy(matrix, isvd(matrix, 10, method="isvd4", target="b"))
+        assert option_b >= option_a - 0.02
+
+    def test_isvd_beats_lp_on_anonymized_data(self):
+        matrix = make_anonymized_matrix(shape=(25, 50), profile="high", rng=5)
+        isvd_score = harmonic_mean_accuracy(matrix, isvd(matrix, 10, method="isvd3", target="b"))
+        lp_score = harmonic_mean_accuracy(matrix, lp_isvd(matrix, 10, target="b"))
+        assert isvd_score >= lp_score
+
+    def test_face_pipeline_classification_beats_chance(self):
+        dataset = make_face_dataset(n_subjects=6, images_per_subject=6, resolution=12, seed=9)
+        decomposition = isvd(dataset.intervals, rank=10, method="isvd2", target="b")
+        features = decomposition.projection()
+        train, test = dataset.train_test_split(0.5, rng=9)
+        score = nn_classification_f1(
+            features[train, :], dataset.labels[train],
+            features[test, :], dataset.labels[test],
+        )
+        assert score > 1.0 / 6.0  # decidedly better than random guessing
+
+    def test_face_pipeline_clustering_beats_chance(self):
+        dataset = make_face_dataset(n_subjects=5, images_per_subject=6, resolution=12, seed=10)
+        decomposition = isvd(dataset.intervals, rank=8, method="isvd2", target="b")
+        nmi = kmeans_nmi(decomposition.projection(), dataset.labels, seed=0)
+        assert nmi > 0.2
+
+    def test_social_media_pipeline(self):
+        dataset = make_ratings_dataset(preset="ciao", n_users=60, n_items=120, seed=11)
+        matrix = user_category_interval_matrix(dataset)
+        full_rank = dataset.n_categories
+        full = harmonic_mean_accuracy(matrix, isvd(matrix, full_rank, method="isvd4", target="b"))
+        low = harmonic_mean_accuracy(matrix, isvd(matrix, 2, method="isvd4", target="b"))
+        assert full > low
+
+    def test_cf_pipeline_interval_models_train(self):
+        dataset = make_ratings_dataset(preset="movielens", n_users=50, n_items=100,
+                                       n_categories=8, density=0.3, seed=12)
+        train_mask, test_mask = dataset.holdout_split(0.25, rng=12)
+        interval = rating_interval_matrix(dataset, alpha=0.5)
+        train_interval = IntervalMatrix(
+            np.where(train_mask, interval.lower, 0.0),
+            np.where(train_mask, interval.upper, 0.0),
+        )
+        kwargs = dict(rank=5, epochs=20, learning_rate=0.01, batch_size=16, seed=12)
+        pmf = PMF(**kwargs).fit(dataset.ratings * train_mask, mask=train_mask)
+        aipmf = AIPMF(**kwargs).fit(train_interval, mask=train_mask)
+        pmf_rmse = rating_prediction_rmse(pmf, dataset.ratings, test_mask)
+        aipmf_rmse = rating_prediction_rmse(aipmf, dataset.ratings, test_mask)
+        assert pmf_rmse < 2.0 and aipmf_rmse < 2.0
+
+
+class TestRoundTripConsistency:
+    @pytest.mark.parametrize("method,target", [
+        ("isvd1", "a"), ("isvd2", "b"), ("isvd3", "b"), ("isvd4", "a"), ("isvd4", "c"),
+    ])
+    def test_decompose_reconstruct_roundtrip(self, method, target):
+        matrix = make_uniform_interval_matrix(SyntheticConfig(shape=(15, 25), rank=10), rng=13)
+        decomposition = isvd(matrix, 10, method=method, target=target)
+        reconstruction = reconstruct(decomposition)
+        assert reconstruction.shape == matrix.shape
+        assert reconstruction.is_valid()
+        assert harmonic_mean_accuracy(matrix, reconstruction) > 0.3

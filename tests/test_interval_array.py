@@ -1,0 +1,295 @@
+"""Tests for IntervalMatrix: construction, indexing, elementwise ops, aggregations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.interval.array import IntervalMatrix, stack_columns
+from repro.interval.scalar import Interval, IntervalError
+
+
+def interval_matrix_strategy(max_side=6):
+    shape = st.tuples(st.integers(1, max_side), st.integers(1, max_side))
+    return shape.flatmap(
+        lambda s: st.tuples(
+            hnp.arrays(np.float64, s, elements=st.floats(-10, 10)),
+            hnp.arrays(np.float64, s, elements=st.floats(0, 5)),
+        ).map(lambda arrays: IntervalMatrix(arrays[0], arrays[0] + arrays[1]))
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.5]])
+        assert m.shape == (1, 2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalMatrix(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_misordered_raises_with_check(self):
+        with pytest.raises(IntervalError):
+            IntervalMatrix([[2.0]], [[1.0]])
+
+    def test_misordered_allowed_without_check(self):
+        m = IntervalMatrix([[2.0]], [[1.0]], check=False)
+        assert not m.is_valid()
+
+    def test_nan_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalMatrix([[np.nan]], [[1.0]])
+
+    def test_from_scalar(self):
+        m = IntervalMatrix.from_scalar([[1.0, 2.0]])
+        assert m.is_scalar()
+
+    def test_from_scalar_copies(self):
+        values = np.ones((2, 2))
+        m = IntervalMatrix.from_scalar(values)
+        values[0, 0] = 5.0
+        assert m.lower[0, 0] == 1.0
+
+    def test_from_center(self):
+        m = IntervalMatrix.from_center([[1.0]], [[0.5]])
+        assert m.lower[0, 0] == 0.5 and m.upper[0, 0] == 1.5
+
+    def test_from_center_negative_radius_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalMatrix.from_center([[1.0]], [[-0.5]])
+
+    def test_from_intervals(self):
+        m = IntervalMatrix.from_intervals([[Interval(1, 2), Interval(3, 3)]])
+        assert m.shape == (1, 2)
+        assert m.upper[0, 0] == 2.0
+
+    def test_from_intervals_ragged_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalMatrix.from_intervals([[Interval(1, 2)], [Interval(1, 2), Interval(1, 2)]])
+
+    def test_zeros(self):
+        m = IntervalMatrix.zeros((3, 4))
+        assert m.shape == (3, 4) and m.is_scalar()
+
+    def test_coerce_passthrough(self, small_interval_matrix):
+        assert IntervalMatrix.coerce(small_interval_matrix) is small_interval_matrix
+
+    def test_coerce_ndarray(self):
+        m = IntervalMatrix.coerce(np.ones((2, 2)))
+        assert m.is_scalar()
+
+
+class TestProperties:
+    def test_shape_ndim_size(self, small_interval_matrix):
+        assert small_interval_matrix.ndim == 2
+        assert small_interval_matrix.size == 12 * 18
+
+    def test_transpose(self, small_interval_matrix):
+        assert small_interval_matrix.T.shape == (18, 12)
+
+    def test_transpose_roundtrip(self, small_interval_matrix):
+        assert small_interval_matrix.T.T == small_interval_matrix
+
+    def test_midpoint_and_span(self):
+        m = IntervalMatrix([[1.0]], [[3.0]])
+        assert m.midpoint()[0, 0] == 2.0
+        assert m.span()[0, 0] == 2.0
+        assert m.radius()[0, 0] == 1.0
+
+    def test_copy_is_independent(self, small_interval_matrix):
+        copy = small_interval_matrix.copy()
+        copy.lower[0, 0] = -100.0
+        assert small_interval_matrix.lower[0, 0] != -100.0
+
+    def test_is_scalar_with_tolerance(self):
+        m = IntervalMatrix([[1.0]], [[1.0 + 1e-12]])
+        assert not m.is_scalar()
+        assert m.is_scalar(tol=1e-9)
+
+    def test_misordered_mask(self):
+        m = IntervalMatrix([[2.0, 1.0]], [[1.0, 2.0]], check=False)
+        assert m.misordered_mask().tolist() == [[True, False]]
+
+    def test_max_and_mean_span(self):
+        m = IntervalMatrix([[0.0, 1.0]], [[1.0, 1.0]])
+        assert m.max_span() == 1.0
+        assert m.mean_span() == 0.5
+
+    def test_repr_contains_shape(self, small_interval_matrix):
+        assert "shape=(12, 18)" in repr(small_interval_matrix)
+
+
+class TestIndexing:
+    def test_scalar_index_returns_interval(self):
+        m = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.5]])
+        assert m[0, 1] == Interval(2.0, 2.5)
+
+    def test_slice_returns_matrix(self, small_interval_matrix):
+        block = small_interval_matrix[2:5, 3:7]
+        assert isinstance(block, IntervalMatrix)
+        assert block.shape == (3, 4)
+
+    def test_setitem_interval(self):
+        m = IntervalMatrix.zeros((2, 2))
+        m[0, 0] = Interval(1, 2)
+        assert m[0, 0] == Interval(1, 2)
+
+    def test_setitem_matrix(self):
+        m = IntervalMatrix.zeros((2, 2))
+        m[0:1, :] = IntervalMatrix([[1.0, 2.0]], [[3.0, 4.0]])
+        assert m.upper[0, 1] == 4.0
+
+    def test_setitem_scalar_array(self):
+        m = IntervalMatrix.zeros((2, 2))
+        m[1, :] = np.array([5.0, 6.0])
+        assert m[1, 1] == Interval(6.0, 6.0)
+
+    def test_row_and_column(self, small_interval_matrix):
+        assert small_interval_matrix.row(0).shape == (18,)
+        assert small_interval_matrix.column(0).shape == (12,)
+
+
+class TestElementwiseOps:
+    def test_addition(self):
+        a = IntervalMatrix([[1.0]], [[2.0]])
+        b = IntervalMatrix([[3.0]], [[5.0]])
+        assert (a + b)[0, 0] == Interval(4, 7)
+
+    def test_subtraction(self):
+        a = IntervalMatrix([[1.0]], [[2.0]])
+        b = IntervalMatrix([[3.0]], [[5.0]])
+        assert (a - b)[0, 0] == Interval(-4, -1)
+
+    def test_hadamard_product_matches_scalar_rule(self):
+        a = IntervalMatrix([[-2.0]], [[3.0]])
+        b = IntervalMatrix([[-1.0]], [[4.0]])
+        assert (a * b)[0, 0] == Interval(-2, 3) * Interval(-1, 4)
+
+    def test_negation(self):
+        m = IntervalMatrix([[1.0]], [[2.0]])
+        assert (-m)[0, 0] == Interval(-2, -1)
+
+    def test_scale_negative(self):
+        m = IntervalMatrix([[1.0]], [[2.0]])
+        assert m.scale(-1.0)[0, 0] == Interval(-2, -1)
+
+    def test_add_scalar_ndarray(self):
+        m = IntervalMatrix([[1.0]], [[2.0]])
+        assert (m + np.array([[1.0]]))[0, 0] == Interval(2, 3)
+
+    def test_radd_and_rsub(self):
+        m = IntervalMatrix([[1.0]], [[2.0]])
+        assert (np.array([[1.0]]) + m)[0, 0] == Interval(2, 3)
+        assert (np.array([[1.0]]) - m)[0, 0] == Interval(-1, 0)
+
+    def test_square_nonnegative(self):
+        m = IntervalMatrix([[-2.0, 1.0]], [[1.0, 3.0]])
+        squared = m.square()
+        assert squared[0, 0] == Interval(0, 4)
+        assert squared[0, 1] == Interval(1, 9)
+
+    def test_clip_nonnegative(self):
+        m = IntervalMatrix([[-1.0]], [[2.0]])
+        clipped = m.clip_nonnegative()
+        assert clipped[0, 0] == Interval(0, 2)
+
+    def test_sorted_endpoints(self):
+        m = IntervalMatrix([[2.0]], [[1.0]], check=False)
+        assert m.sorted_endpoints()[0, 0] == Interval(1, 2)
+
+
+class TestAggregations:
+    def test_frobenius_norm_scalar_case(self):
+        m = IntervalMatrix.from_scalar([[3.0, 4.0]])
+        norm = m.frobenius_norm()
+        assert norm.lo == pytest.approx(5.0)
+        assert norm.hi == pytest.approx(5.0)
+
+    def test_frobenius_norm_interval_case(self):
+        m = IntervalMatrix([[0.0]], [[2.0]])
+        assert m.frobenius_norm() == Interval(0.0, 2.0)
+
+    def test_sum(self):
+        m = IntervalMatrix([[1.0, 2.0]], [[2.0, 3.0]])
+        assert m.sum() == Interval(3.0, 5.0)
+
+
+class TestSetOperations:
+    def test_contains(self):
+        outer = IntervalMatrix([[0.0]], [[3.0]])
+        inner = IntervalMatrix([[1.0]], [[2.0]])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_hull(self):
+        a = IntervalMatrix([[0.0]], [[1.0]])
+        b = IntervalMatrix([[2.0]], [[3.0]])
+        assert a.hull(b)[0, 0] == Interval(0, 3)
+
+    def test_allclose_and_eq(self, small_interval_matrix):
+        other = small_interval_matrix.copy()
+        assert small_interval_matrix.allclose(other)
+        assert small_interval_matrix == other
+
+    def test_eq_against_non_matrix(self, small_interval_matrix):
+        assert (small_interval_matrix == 3) is False or (small_interval_matrix == 3) is NotImplemented
+
+    def test_unhashable(self, small_interval_matrix):
+        with pytest.raises(TypeError):
+            hash(small_interval_matrix)
+
+    def test_to_intervals_roundtrip(self):
+        m = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.5]])
+        entries = m.to_intervals()
+        rebuilt = IntervalMatrix.from_intervals(entries)
+        assert rebuilt == m
+
+    def test_to_intervals_requires_2d(self):
+        vector = IntervalMatrix(np.zeros(3), np.ones(3))
+        with pytest.raises(IntervalError):
+            vector.to_intervals()
+
+
+class TestStackColumns:
+    def test_stack(self):
+        columns = [IntervalMatrix(np.zeros(3), np.ones(3)) for _ in range(4)]
+        stacked = stack_columns(columns)
+        assert stacked.shape == (3, 4)
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(IntervalError):
+            stack_columns([])
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(interval_matrix_strategy())
+    def test_midpoint_between_bounds(self, m):
+        assert np.all(m.lower - 1e-9 <= m.midpoint())
+        assert np.all(m.midpoint() <= m.upper + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(interval_matrix_strategy())
+    def test_span_nonnegative(self, m):
+        assert np.all(m.span() >= 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(interval_matrix_strategy())
+    def test_addition_preserves_validity(self, m):
+        assert (m + m).is_valid()
+
+    @settings(max_examples=30, deadline=None)
+    @given(interval_matrix_strategy())
+    def test_hull_contains_operands(self, m):
+        shifted = m + IntervalMatrix.from_scalar(np.ones(m.shape))
+        hull = m.hull(shifted)
+        assert hull.contains(m) and hull.contains(shifted)
+
+    @settings(max_examples=30, deadline=None)
+    @given(interval_matrix_strategy())
+    def test_hadamard_encloses_midpoint_product(self, m):
+        product = m * m
+        midpoint_product = m.midpoint() * m.midpoint()
+        assert np.all(product.lower - 1e-6 <= midpoint_product)
+        assert np.all(midpoint_product <= product.upper + 1e-6)

@@ -1,0 +1,272 @@
+"""Tests for the interval linear-algebra kernels (supplementary Algorithms 1-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import (
+    average_replacement_matrix,
+    average_replacement_vector,
+    diag_interval,
+    diagonal_of,
+    interval_dot,
+    interval_euclidean_distance,
+    interval_frobenius_norm,
+    interval_matmul,
+    interval_self_dot,
+    inverse_core,
+    norm_mat,
+    safe_inverse,
+)
+from repro.interval.scalar import Interval, IntervalError
+
+
+class TestIntervalMatmul:
+    def test_matches_scalar_matmul_for_degenerate_intervals(self, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(5, 3))
+        result = interval_matmul(IntervalMatrix.from_scalar(a), IntervalMatrix.from_scalar(b))
+        np.testing.assert_allclose(result.lower, a @ b, atol=1e-10)
+        np.testing.assert_allclose(result.upper, a @ b, atol=1e-10)
+
+    def test_shape(self, rng):
+        a = IntervalMatrix.from_scalar(rng.normal(size=(4, 5)))
+        b = IntervalMatrix.from_scalar(rng.normal(size=(5, 3)))
+        assert interval_matmul(a, b).shape == (4, 3)
+
+    def test_incompatible_shapes_raise(self):
+        with pytest.raises(IntervalError):
+            interval_matmul(IntervalMatrix.zeros((2, 3)), IntervalMatrix.zeros((4, 2)))
+
+    def test_encloses_endpoint_products(self, rng):
+        values = rng.uniform(0, 1, size=(3, 4))
+        radius = rng.uniform(0, 0.2, size=(3, 4))
+        a = IntervalMatrix(values - radius, values + radius)
+        b_values = rng.uniform(0, 1, size=(4, 2))
+        b = IntervalMatrix.from_scalar(b_values)
+        product = interval_matmul(a, b)
+        for member in (a.lower, a.upper, a.midpoint()):
+            inside = member @ b_values
+            assert np.all(product.lower - 1e-9 <= inside)
+            assert np.all(inside <= product.upper + 1e-9)
+
+    def test_operator_form(self, rng):
+        a = IntervalMatrix.from_scalar(rng.normal(size=(2, 3)))
+        b = IntervalMatrix.from_scalar(rng.normal(size=(3, 2)))
+        assert (a @ b).allclose(interval_matmul(a, b))
+
+    def test_rmatmul_with_ndarray(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = IntervalMatrix.from_scalar(rng.normal(size=(3, 2)))
+        result = a @ b
+        assert isinstance(result, IntervalMatrix)
+        np.testing.assert_allclose(result.lower, a @ b.lower, atol=1e-10)
+
+    def test_result_always_valid(self, rng):
+        a = IntervalMatrix(rng.normal(size=(3, 3)) - 0.5, rng.normal(size=(3, 3)) + 0.5, check=False).sorted_endpoints()
+        b = IntervalMatrix(rng.normal(size=(3, 3)) - 0.5, rng.normal(size=(3, 3)) + 0.5, check=False).sorted_endpoints()
+        assert interval_matmul(a, b).is_valid()
+
+
+class TestDotProducts:
+    def test_interval_dot_matches_scalar(self):
+        x = IntervalMatrix.from_scalar(np.array([1.0, 2.0, 3.0]))
+        y = IntervalMatrix.from_scalar(np.array([4.0, 5.0, 6.0]))
+        assert interval_dot(x, y) == Interval(32.0, 32.0)
+
+    def test_interval_dot_requires_matching_1d(self):
+        with pytest.raises(IntervalError):
+            interval_dot(IntervalMatrix.zeros((2,)), IntervalMatrix.zeros((3,)))
+
+    def test_self_dot_scalar_iff_scalar_vector(self):
+        """Theorem 2: x.x is scalar only when x is scalar-valued."""
+        scalar_vector = IntervalMatrix.from_scalar(np.array([1.0, -2.0]))
+        assert interval_self_dot(scalar_vector).is_scalar
+        interval_vector = IntervalMatrix(np.array([1.0, -2.0]), np.array([1.5, -2.0]))
+        assert not interval_self_dot(interval_vector).is_scalar
+
+    def test_self_dot_nonnegative(self):
+        vector = IntervalMatrix(np.array([-1.0, 0.5]), np.array([2.0, 1.0]))
+        assert interval_self_dot(vector).lo >= 0.0
+
+    def test_self_dot_requires_1d(self):
+        with pytest.raises(IntervalError):
+            interval_self_dot(IntervalMatrix.zeros((2, 2)))
+
+    def test_frobenius_norm_helper(self):
+        m = IntervalMatrix.from_scalar(np.array([[3.0, 4.0]]))
+        assert interval_frobenius_norm(m).lo == pytest.approx(5.0)
+
+
+class TestAverageReplacement:
+    def test_matrix_fixes_misordered_entries(self):
+        m = IntervalMatrix(np.array([[2.0, 1.0]]), np.array([[1.0, 3.0]]), check=False)
+        fixed = average_replacement_matrix(m)
+        assert fixed[0, 0] == Interval(1.5, 1.5)
+        assert fixed[0, 1] == Interval(1.0, 3.0)
+
+    def test_matrix_no_misordered_is_copy(self, small_interval_matrix):
+        fixed = average_replacement_matrix(small_interval_matrix)
+        assert fixed == small_interval_matrix
+        assert fixed is not small_interval_matrix
+
+    def test_result_is_valid(self):
+        m = IntervalMatrix(np.array([[5.0]]), np.array([[-5.0]]), check=False)
+        assert average_replacement_matrix(m).is_valid()
+
+    def test_vector_variant(self):
+        v = IntervalMatrix(np.array([3.0, 1.0]), np.array([1.0, 2.0]), check=False)
+        fixed = average_replacement_vector(v)
+        assert fixed[0] == Interval(2.0, 2.0)
+
+    def test_vector_variant_requires_1d(self):
+        with pytest.raises(IntervalError):
+            average_replacement_vector(IntervalMatrix.zeros((2, 2)))
+
+
+class TestInverseCore:
+    def test_scalar_inverse_rule(self):
+        """Section 4.4.2.1: the optimal inverse entry is 2 / (s_lo + s_hi)."""
+        sigma = diag_interval(IntervalMatrix(np.array([2.0]), np.array([4.0])))
+        inverse = inverse_core(sigma)
+        assert inverse[0, 0] == pytest.approx(2.0 / 6.0)
+
+    def test_zero_entry_maps_to_zero(self):
+        sigma = diag_interval(IntervalMatrix(np.array([0.0]), np.array([0.0])))
+        assert inverse_core(sigma)[0, 0] == 0.0
+
+    def test_half_zero_entries(self):
+        sigma = diag_interval(IntervalMatrix(np.array([0.0]), np.array([4.0])))
+        assert inverse_core(sigma)[0, 0] == pytest.approx(0.5)
+
+    def test_degenerate_interval_gives_exact_inverse(self):
+        sigma = diag_interval(IntervalMatrix(np.array([2.0]), np.array([2.0])))
+        assert inverse_core(sigma)[0, 0] == pytest.approx(0.5)
+
+    def test_negative_diagonal_raises(self):
+        sigma = IntervalMatrix(np.diag([-1.0]), np.diag([1.0]), check=False)
+        with pytest.raises(IntervalError):
+            inverse_core(sigma)
+
+    def test_requires_square(self):
+        with pytest.raises(IntervalError):
+            inverse_core(IntervalMatrix.zeros((2, 3)))
+
+    def test_product_with_core_near_identity(self):
+        diag = IntervalMatrix(np.array([1.0, 2.0, 5.0]), np.array([1.5, 2.5, 6.0]))
+        sigma = diag_interval(diag)
+        inverse = inverse_core(sigma)
+        product = interval_matmul(sigma, IntervalMatrix.from_scalar(inverse))
+        midpoints = np.diag(product.midpoint())
+        np.testing.assert_allclose(midpoints, 1.0, atol=0.25)
+
+
+class TestNormMat:
+    def test_columns_become_unit_length(self, rng):
+        matrix = rng.normal(size=(6, 4))
+        normalized, norms = norm_mat(matrix)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=0), 1.0, atol=1e-10)
+        np.testing.assert_allclose(norms, np.linalg.norm(matrix, axis=0))
+
+    def test_zero_column_untouched(self):
+        matrix = np.zeros((3, 2))
+        matrix[:, 1] = [3.0, 4.0, 0.0]
+        normalized, norms = norm_mat(matrix)
+        assert norms[0] == 0.0
+        np.testing.assert_allclose(normalized[:, 0], 0.0)
+
+    def test_reconstruction_identity(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        normalized, norms = norm_mat(matrix)
+        np.testing.assert_allclose(normalized * norms, matrix, atol=1e-10)
+
+    def test_requires_2d(self):
+        with pytest.raises(IntervalError):
+            norm_mat(np.zeros(3))
+
+
+class TestSafeInverse:
+    def test_well_conditioned_square_uses_exact_inverse(self, rng):
+        matrix = rng.normal(size=(4, 4)) + 4 * np.eye(4)
+        np.testing.assert_allclose(safe_inverse(matrix), np.linalg.inv(matrix), atol=1e-8)
+
+    def test_non_square_uses_pseudo_inverse(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        pseudo = safe_inverse(matrix)
+        assert pseudo.shape == (3, 5)
+        np.testing.assert_allclose(matrix @ pseudo @ matrix, matrix, atol=1e-6)
+
+    def test_singular_matrix_does_not_blow_up(self):
+        matrix = np.ones((3, 3))
+        pseudo = safe_inverse(matrix)
+        assert np.all(np.isfinite(pseudo))
+
+    def test_cutoff_zeroes_small_singular_values(self):
+        matrix = np.diag([1.0, 1e-6])
+        pseudo = safe_inverse(matrix, condition_threshold=1.0, cutoff=0.1)
+        assert pseudo[1, 1] == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(IntervalError):
+            safe_inverse(np.zeros(3))
+
+
+class TestDiagonalHelpers:
+    def test_diag_interval_roundtrip(self):
+        values = IntervalMatrix(np.array([1.0, 2.0]), np.array([1.5, 2.5]))
+        matrix = diag_interval(values)
+        assert matrix.shape == (2, 2)
+        recovered = diagonal_of(matrix)
+        assert recovered == values
+
+    def test_diag_interval_requires_vector(self):
+        with pytest.raises(IntervalError):
+            diag_interval(IntervalMatrix.zeros((2, 2)))
+
+    def test_diagonal_of_requires_square(self):
+        with pytest.raises(IntervalError):
+            diagonal_of(IntervalMatrix.zeros((2, 3)))
+
+
+class TestIntervalDistance:
+    def test_scalar_vectors_scale_of_euclidean(self):
+        a = IntervalMatrix.from_scalar(np.array([0.0, 0.0]))
+        b = IntervalMatrix.from_scalar(np.array([3.0, 4.0]))
+        assert interval_euclidean_distance(a, b) == pytest.approx(5.0 * np.sqrt(2))
+
+    def test_zero_distance_to_self(self, rng):
+        base = rng.normal(size=4)
+        vector = IntervalMatrix(base, base + rng.random(4))
+        assert interval_euclidean_distance(vector, vector) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(IntervalError):
+            interval_euclidean_distance(IntervalMatrix.zeros((3,)), IntervalMatrix.zeros((4,)))
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, (3, 4), elements=st.floats(-5, 5)),
+           hnp.arrays(np.float64, (3, 4), elements=st.floats(0, 2)),
+           hnp.arrays(np.float64, (4, 2), elements=st.floats(-5, 5)),
+           hnp.arrays(np.float64, (4, 2), elements=st.floats(0, 2)))
+    def test_matmul_soundness(self, a_lo, a_rad, b_lo, b_rad):
+        a = IntervalMatrix(a_lo, a_lo + a_rad)
+        b = IntervalMatrix(b_lo, b_lo + b_rad)
+        product = interval_matmul(a, b)
+        # The product of the midpoint members must be enclosed.
+        inside = a.midpoint() @ b.midpoint()
+        assert np.all(product.lower - 1e-6 <= inside)
+        assert np.all(inside <= product.upper + 1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, (4,), elements=st.floats(0.1, 10)),
+           hnp.arrays(np.float64, (4,), elements=st.floats(0, 5)))
+    def test_inverse_core_entries_between_endpoint_inverses(self, lo, rad):
+        sigma = diag_interval(IntervalMatrix(lo, lo + rad))
+        inverse = inverse_core(sigma)
+        for i in range(4):
+            assert 1.0 / (lo[i] + rad[i]) - 1e-9 <= inverse[i, i] <= 1.0 / lo[i] + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for the random interval-matrix generators (Table 1 data protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.interval.random import (
+    default_rng,
+    intervalize,
+    random_interval_matrix,
+    random_interval_vector,
+    random_low_rank_matrix,
+)
+from repro.interval.scalar import IntervalError
+
+
+class TestDefaultRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert default_rng(rng) is rng
+
+    def test_seed_reproducibility(self):
+        a = default_rng(7).random(5)
+        b = default_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestIntervalize:
+    def test_zero_density_keeps_scalars(self, rng):
+        values = rng.uniform(0, 1, size=(5, 5))
+        matrix = intervalize(values, interval_density=0.0, rng=rng)
+        assert matrix.is_scalar()
+
+    def test_full_density_makes_intervals(self, rng):
+        values = rng.uniform(0.5, 1.0, size=(20, 20))
+        matrix = intervalize(values, interval_density=1.0, interval_intensity=1.0, rng=rng)
+        assert matrix.span().mean() > 0.0
+
+    def test_zero_cells_stay_scalar(self, rng):
+        values = np.zeros((4, 4))
+        matrix = intervalize(values, interval_density=1.0, rng=rng)
+        assert matrix.is_scalar()
+
+    def test_intensity_bounds_span(self, rng):
+        values = rng.uniform(0.5, 1.0, size=(30, 30))
+        intensity = 0.3
+        matrix = intervalize(values, interval_intensity=intensity, rng=rng)
+        assert np.all(matrix.span() <= intensity * np.abs(values) + 1e-12)
+
+    def test_midpoints_equal_original_values(self, rng):
+        values = rng.uniform(0.5, 1.0, size=(10, 10))
+        matrix = intervalize(values, rng=rng)
+        np.testing.assert_allclose(matrix.midpoint(), values, atol=1e-12)
+
+    def test_invalid_density_raises(self, rng):
+        with pytest.raises(IntervalError):
+            intervalize(np.ones((2, 2)), interval_density=1.5, rng=rng)
+
+    def test_invalid_intensity_raises(self, rng):
+        with pytest.raises(IntervalError):
+            intervalize(np.ones((2, 2)), interval_intensity=-0.5, rng=rng)
+
+
+class TestRandomIntervalMatrix:
+    def test_shape(self, rng):
+        assert random_interval_matrix((6, 9), rng=rng).shape == (6, 9)
+
+    def test_matrix_density_controls_zero_fraction(self, rng):
+        matrix = random_interval_matrix((60, 60), matrix_density=0.5, rng=rng)
+        zero_fraction = float((matrix.midpoint() == 0.0).mean())
+        assert 0.35 < zero_fraction < 0.65
+
+    def test_value_range_respected(self, rng):
+        matrix = random_interval_matrix((20, 20), value_range=(2.0, 3.0),
+                                        interval_intensity=0.0, rng=rng)
+        assert matrix.lower.min() >= 2.0 and matrix.upper.max() <= 3.0
+
+    def test_invalid_matrix_density_raises(self, rng):
+        with pytest.raises(IntervalError):
+            random_interval_matrix((3, 3), matrix_density=-0.1, rng=rng)
+
+    def test_invalid_value_range_raises(self, rng):
+        with pytest.raises(IntervalError):
+            random_interval_matrix((3, 3), value_range=(2.0, 1.0), rng=rng)
+
+    def test_reproducible_with_seed(self):
+        a = random_interval_matrix((5, 5), rng=42)
+        b = random_interval_matrix((5, 5), rng=42)
+        assert a == b
+
+
+class TestRandomLowRank:
+    def test_rank_is_respected(self, rng):
+        matrix = random_low_rank_matrix((20, 30), rank=3, rng=rng)
+        assert np.linalg.matrix_rank(matrix, tol=1e-8) == 3
+
+    def test_nonnegative_option(self, rng):
+        matrix = random_low_rank_matrix((10, 10), rank=2, noise=0.1, nonnegative=True, rng=rng)
+        assert matrix.min() >= 0.0
+
+    def test_invalid_rank_raises(self, rng):
+        with pytest.raises(IntervalError):
+            random_low_rank_matrix((5, 5), rank=10, rng=rng)
+
+
+class TestRandomIntervalVector:
+    def test_shape_and_validity(self, rng):
+        vector = random_interval_vector(10, rng=rng)
+        assert vector.shape == (10,)
+        assert vector.is_valid()

@@ -1,0 +1,240 @@
+"""Tests for the scalar Interval type and its arithmetic (paper Section 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interval.scalar import Interval, IntervalError, hull_of, span
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def interval_strategy():
+    return st.tuples(finite, finite).map(lambda ab: Interval(min(ab), max(ab)))
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        a = Interval(1.0, 2.0)
+        assert a.lo == 1.0 and a.hi == 2.0
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(2.0, 1.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(float("nan"), 1.0)
+
+    def test_from_scalar_is_degenerate(self):
+        a = Interval.from_scalar(3.5)
+        assert a.is_scalar
+        assert a.lo == a.hi == 3.5
+
+    def test_from_center(self):
+        a = Interval.from_center(2.0, 0.5)
+        assert a.as_tuple() == (1.5, 2.5)
+
+    def test_from_center_negative_radius_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.from_center(0.0, -0.1)
+
+    def test_coerce_interval_passthrough(self):
+        a = Interval(1, 2)
+        assert Interval.coerce(a) is a
+
+    def test_coerce_tuple(self):
+        assert Interval.coerce((1, 2)).as_tuple() == (1.0, 2.0)
+
+    def test_coerce_bad_tuple_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.coerce((1, 2, 3))
+
+    def test_coerce_scalar(self):
+        assert Interval.coerce(4).is_scalar
+
+    def test_endpoints_cast_to_float(self):
+        a = Interval(1, 2)
+        assert isinstance(a.lo, float) and isinstance(a.hi, float)
+
+    def test_repr_scalar_and_interval(self):
+        assert "Interval(1" in repr(Interval(1, 1))
+        assert "2" in repr(Interval(1, 2))
+
+
+class TestProperties:
+    def test_span_definition(self):
+        assert Interval(1.0, 3.5).span == 2.5
+
+    def test_span_of_scalar_is_zero(self):
+        assert Interval.from_scalar(7.0).span == 0.0
+
+    def test_midpoint_and_radius(self):
+        a = Interval(2.0, 6.0)
+        assert a.midpoint == 4.0
+        assert a.radius == 2.0
+
+    def test_module_level_span_helper(self):
+        assert span((1.0, 4.0)) == 3.0
+        assert span(2.0) == 0.0
+
+    def test_iteration_yields_endpoints(self):
+        assert list(Interval(1, 2)) == [1.0, 2.0]
+
+
+class TestPredicates:
+    def test_contains_scalar(self):
+        assert 1.5 in Interval(1, 2)
+        assert 2.5 not in Interval(1, 2)
+
+    def test_contains_interval(self):
+        assert Interval(1.2, 1.8) in Interval(1, 2)
+        assert Interval(0.5, 1.5) not in Interval(1, 2)
+
+    def test_intersects(self):
+        assert Interval(1, 2).intersects(Interval(1.5, 3))
+        assert not Interval(1, 2).intersects(Interval(2.5, 3))
+
+    def test_intersects_at_endpoint(self):
+        assert Interval(1, 2).intersects(Interval(2, 3))
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (Interval(1, 2) + Interval(3, 5)).as_tuple() == (4.0, 7.0)
+
+    def test_addition_with_scalar(self):
+        assert (Interval(1, 2) + 1).as_tuple() == (2.0, 3.0)
+        assert (1 + Interval(1, 2)).as_tuple() == (2.0, 3.0)
+
+    def test_subtraction(self):
+        assert (Interval(1, 2) - Interval(3, 5)).as_tuple() == (-4.0, -1.0)
+
+    def test_rsub(self):
+        assert (1 - Interval(1, 2)).as_tuple() == (-1.0, 0.0)
+
+    def test_multiplication_positive(self):
+        assert (Interval(1, 2) * Interval(3, 5)).as_tuple() == (3.0, 10.0)
+
+    def test_multiplication_mixed_signs(self):
+        assert (Interval(-2, 3) * Interval(-1, 4)).as_tuple() == (-8.0, 12.0)
+
+    def test_multiplication_by_negative_scalar(self):
+        assert (Interval(1, 2) * -1).as_tuple() == (-2.0, -1.0)
+
+    def test_negation(self):
+        assert (-Interval(1, 2)).as_tuple() == (-2.0, -1.0)
+
+    def test_division(self):
+        assert (Interval(1, 2) / Interval(2, 4)).as_tuple() == (0.25, 1.0)
+
+    def test_division_by_zero_interval_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_rtruediv(self):
+        assert (1 / Interval(2, 4)).as_tuple() == (0.25, 0.5)
+
+    def test_abs_positive(self):
+        assert abs(Interval(1, 2)) == Interval(1, 2)
+
+    def test_abs_negative(self):
+        assert abs(Interval(-3, -1)) == Interval(1, 3)
+
+    def test_abs_straddling_zero(self):
+        assert abs(Interval(-2, 1)) == Interval(0, 2)
+
+    def test_square_straddling_zero(self):
+        assert Interval(-2, 1).square() == Interval(0, 4)
+
+    def test_square_tighter_than_product(self):
+        a = Interval(-2, 1)
+        assert a.square().span <= (a * a).span
+
+    def test_scale_negative_factor(self):
+        assert Interval(1, 2).scale(-2).as_tuple() == (-4.0, -2.0)
+
+    def test_scalar_theorem_for_multiplication(self):
+        """Theorem 1: the product of two non-degenerate intervals is never scalar."""
+        product = Interval(1, 2) * Interval(3, 4)
+        assert not product.is_scalar
+
+
+class TestLatticeOperations:
+    def test_hull(self):
+        assert Interval(1, 2).hull(Interval(3, 4)) == Interval(1, 4)
+
+    def test_intersection(self):
+        assert Interval(1, 3).intersection(Interval(2, 4)) == Interval(2, 3)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2).intersection(Interval(3, 4))
+
+    def test_widen(self):
+        assert Interval(1, 2).widen(0.5) == Interval(0.5, 2.5)
+
+    def test_widen_negative_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2).widen(-0.1)
+
+    def test_hull_of_sequence(self):
+        assert hull_of([1.0, Interval(2, 3), -1.0]) == Interval(-1, 3)
+
+    def test_hull_of_empty_raises(self):
+        with pytest.raises(IntervalError):
+            hull_of([])
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy(), interval_strategy())
+    def test_addition_is_commutative(self, a, b):
+        assert (a + b).as_tuple() == pytest.approx((b + a).as_tuple())
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy(), interval_strategy())
+    def test_multiplication_is_commutative(self, a, b):
+        assert (a * b).as_tuple() == pytest.approx((b * a).as_tuple())
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy(), interval_strategy())
+    def test_operations_preserve_ordering(self, a, b):
+        for result in (a + b, a - b, a * b):
+            assert result.lo <= result.hi
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy(), interval_strategy(),
+           st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_product_enclosure(self, a, b, ta, tb):
+        """Any member product lies inside the interval product (soundness)."""
+        x = a.lo + ta * a.span
+        y = b.lo + tb * b.span
+        product = a * b
+        assert product.lo - 1e-6 * (1 + abs(x * y)) <= x * y <= product.hi + 1e-6 * (1 + abs(x * y))
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy())
+    def test_subtraction_of_self_contains_zero(self, a):
+        assert (a - a).contains(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy())
+    def test_square_contains_member_squares(self, a):
+        squared = a.square()
+        for x in (a.lo, a.midpoint, a.hi):
+            assert squared.lo - 1e-9 <= x * x <= squared.hi + 1e-6 * (1 + x * x)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy(), interval_strategy())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains(a) and hull.contains(b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_strategy())
+    def test_midpoint_inside_interval(self, a):
+        assert a.contains(a.midpoint)

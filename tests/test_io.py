@@ -1,0 +1,116 @@
+"""Tests for interval-matrix and decomposition I/O."""
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.core.isvd import isvd
+from repro.core.result import DecompositionTarget
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import random_interval_matrix
+from repro.interval.scalar import IntervalError
+
+
+@pytest.fixture
+def matrix():
+    return random_interval_matrix((8, 5), interval_intensity=0.5, rng=3)
+
+
+class TestCsvRoundTrip:
+    def test_wide_csv_roundtrip(self, matrix, tmp_path):
+        path = tmp_path / "matrix.csv"
+        repro_io.save_interval_csv(matrix, path, column_names=[f"f{j}" for j in range(5)])
+        loaded, names = repro_io.load_interval_csv(path)
+        assert names == [f"f{j}" for j in range(5)]
+        assert loaded.allclose(matrix)
+
+    def test_default_column_names(self, matrix, tmp_path):
+        path = tmp_path / "matrix.csv"
+        repro_io.save_interval_csv(matrix, path)
+        _, names = repro_io.load_interval_csv(path)
+        assert names == [f"c{j}" for j in range(5)]
+
+    def test_wrong_column_name_count_raises(self, matrix, tmp_path):
+        with pytest.raises(IntervalError):
+            repro_io.save_interval_csv(matrix, tmp_path / "x.csv", column_names=["only_one"])
+
+    def test_scalar_csv_loads_as_degenerate_intervals(self, tmp_path):
+        path = tmp_path / "scalar.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0,4.0\n")
+        loaded, names = repro_io.load_interval_csv(path)
+        assert names == ["a", "b"]
+        assert loaded.is_scalar()
+        assert loaded.shape == (2, 2)
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(IntervalError):
+            repro_io.load_interval_csv(path)
+
+    def test_endpoint_csvs(self, matrix, tmp_path):
+        lower_path = tmp_path / "lower.csv"
+        upper_path = tmp_path / "upper.csv"
+        np.savetxt(lower_path, matrix.lower, delimiter=",")
+        np.savetxt(upper_path, matrix.upper, delimiter=",")
+        loaded = repro_io.load_endpoint_csvs(lower_path, upper_path)
+        assert loaded.allclose(matrix)
+
+    def test_endpoint_csvs_shape_mismatch_raises(self, matrix, tmp_path):
+        lower_path = tmp_path / "lower.csv"
+        upper_path = tmp_path / "upper.csv"
+        np.savetxt(lower_path, matrix.lower, delimiter=",")
+        np.savetxt(upper_path, matrix.upper[:4], delimiter=",")
+        with pytest.raises(IntervalError):
+            repro_io.load_endpoint_csvs(lower_path, upper_path)
+
+    def test_endpoint_csv_with_header_row(self, matrix, tmp_path):
+        lower_path = tmp_path / "lower.csv"
+        upper_path = tmp_path / "upper.csv"
+        header = ",".join(f"f{j}" for j in range(5))
+        np.savetxt(lower_path, matrix.lower, delimiter=",", header=header, comments="")
+        np.savetxt(upper_path, matrix.upper, delimiter=",", header=header, comments="")
+        loaded = repro_io.load_endpoint_csvs(lower_path, upper_path)
+        assert loaded.allclose(matrix)
+
+
+class TestNpzRoundTrip:
+    def test_matrix_roundtrip(self, matrix, tmp_path):
+        path = tmp_path / "matrix.npz"
+        repro_io.save_interval_npz(matrix, path)
+        assert repro_io.load_interval_npz(path).allclose(matrix)
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.zeros((2, 2)))
+        with pytest.raises(IntervalError):
+            repro_io.load_interval_npz(path)
+
+
+class TestDecompositionRoundTrip:
+    @pytest.mark.parametrize("target", ["a", "b", "c"])
+    def test_roundtrip_preserves_factors(self, matrix, tmp_path, target):
+        decomposition = isvd(matrix, 3, method="isvd4", target=target)
+        path = tmp_path / "decomposition.npz"
+        repro_io.save_decomposition_npz(decomposition, path)
+        loaded = repro_io.load_decomposition_npz(path)
+        assert loaded.method == decomposition.method
+        assert loaded.rank == decomposition.rank
+        assert loaded.target is DecompositionTarget.coerce(target)
+        np.testing.assert_allclose(loaded.u_scalar(), decomposition.u_scalar(), atol=1e-12)
+        np.testing.assert_allclose(loaded.sigma_scalar(), decomposition.sigma_scalar(),
+                                   atol=1e-12)
+
+    def test_interval_factor_kinds_preserved(self, matrix, tmp_path):
+        decomposition = isvd(matrix, 3, method="isvd4", target="a")
+        path = tmp_path / "decomposition.npz"
+        repro_io.save_decomposition_npz(decomposition, path)
+        loaded = repro_io.load_decomposition_npz(path)
+        assert isinstance(loaded.u, IntervalMatrix)
+        assert isinstance(loaded.sigma, IntervalMatrix)
+
+    def test_non_decomposition_archive_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, lower=np.zeros((2, 2)), upper=np.ones((2, 2)))
+        with pytest.raises(IntervalError):
+            repro_io.load_decomposition_npz(path)

@@ -1,0 +1,142 @@
+"""Tests for PMF, I-PMF and AI-PMF (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ipmf import AIPMF, IPMF, PMF
+from repro.datasets.ratings import rating_interval_matrix
+from repro.eval.cf import rating_prediction_rmse
+from repro.interval.array import IntervalMatrix
+
+
+@pytest.fixture(scope="module")
+def rating_setup(tiny_ratings_dataset):
+    train_mask, test_mask = tiny_ratings_dataset.holdout_split(0.25, rng=1)
+    interval = rating_interval_matrix(tiny_ratings_dataset, alpha=0.5)
+    train_interval = IntervalMatrix(
+        np.where(train_mask, interval.lower, 0.0),
+        np.where(train_mask, interval.upper, 0.0),
+    )
+    return tiny_ratings_dataset, train_mask, test_mask, train_interval
+
+
+MODEL_KWARGS = dict(learning_rate=0.01, reg_u=0.05, reg_v=0.05, epochs=25,
+                    batch_size=16, seed=2)
+
+
+class TestPMF:
+    def test_loss_decreases(self, rating_setup):
+        dataset, train_mask, _, _ = rating_setup
+        model = PMF(rank=4, **MODEL_KWARGS).fit(dataset.ratings * train_mask, mask=train_mask)
+        assert model.history.improved()
+
+    def test_predict_shape(self, rating_setup):
+        dataset, train_mask, _, _ = rating_setup
+        model = PMF(rank=4, **MODEL_KWARGS).fit(dataset.ratings * train_mask, mask=train_mask)
+        assert model.predict().shape == dataset.ratings.shape
+
+    def test_beats_global_mean_slightly_or_matches(self, rating_setup):
+        dataset, train_mask, test_mask, _ = rating_setup
+        model = PMF(rank=6, **MODEL_KWARGS).fit(dataset.ratings * train_mask, mask=train_mask)
+        model_rmse = rating_prediction_rmse(model, dataset.ratings, test_mask)
+        mean_rating = dataset.ratings[train_mask].mean()
+        baseline = np.sqrt(np.mean((dataset.ratings[test_mask] - mean_rating) ** 2))
+        assert model_rmse <= baseline * 1.10
+
+    def test_centering_stores_global_mean(self, rating_setup):
+        dataset, train_mask, _, _ = rating_setup
+        model = PMF(rank=3, **MODEL_KWARGS).fit(dataset.ratings * train_mask, mask=train_mask)
+        assert 1.0 <= model.global_mean <= 5.0
+
+    def test_centering_can_be_disabled(self, rating_setup):
+        dataset, train_mask, _, _ = rating_setup
+        model = PMF(rank=3, center=False, **MODEL_KWARGS).fit(
+            dataset.ratings * train_mask, mask=train_mask
+        )
+        assert model.global_mean == 0.0
+
+    def test_default_mask_is_nonzero_cells(self, rating_setup):
+        dataset, train_mask, _, _ = rating_setup
+        model = PMF(rank=3, **MODEL_KWARGS).fit(dataset.ratings * train_mask)
+        assert model.predict().shape == dataset.ratings.shape
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            PMF(rank=2).predict()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            PMF(rank=0)
+        with pytest.raises(ValueError):
+            PMF(rank=2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            PMF(rank=2, epochs=0)
+
+    def test_mask_shape_mismatch_raises(self, rating_setup):
+        dataset, _, _, _ = rating_setup
+        with pytest.raises(ValueError):
+            PMF(rank=2, **MODEL_KWARGS).fit(dataset.ratings, mask=np.ones((2, 2), dtype=bool))
+
+
+class TestIPMF:
+    def test_loss_decreases(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = IPMF(rank=4, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        assert model.history.improved()
+
+    def test_predict_interval_is_valid(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = IPMF(rank=4, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        assert model.predict_interval().is_valid()
+
+    def test_predict_is_midpoint_of_interval(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = IPMF(rank=4, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        np.testing.assert_allclose(model.predict(), model.predict_interval().midpoint())
+
+    def test_shared_u_separate_v(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = IPMF(rank=4, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        assert model.u.shape[1] == 4
+        assert not np.allclose(model.v_lower, model.v_upper)
+
+    def test_ipmf_does_not_align_during_training(self):
+        assert IPMF.align_during_training is False
+        assert AIPMF.align_during_training is True
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            IPMF(rank=2).predict()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            IPMF(rank=0)
+        with pytest.raises(ValueError):
+            IPMF(rank=2, learning_rate=-1.0)
+
+
+class TestAIPMF:
+    def test_loss_decreases(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = AIPMF(rank=4, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        assert model.history.improved()
+
+    def test_prediction_quality_not_worse_than_ipmf(self, rating_setup):
+        """The paper's claim: alignment never hurts I-PMF's rating prediction much."""
+        dataset, train_mask, test_mask, train_interval = rating_setup
+        ipmf = IPMF(rank=6, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        aipmf = AIPMF(rank=6, **MODEL_KWARGS).fit(train_interval, mask=train_mask)
+        ipmf_rmse = rating_prediction_rmse(ipmf, dataset.ratings, test_mask)
+        aipmf_rmse = rating_prediction_rmse(aipmf, dataset.ratings, test_mask)
+        assert aipmf_rmse <= ipmf_rmse * 1.15
+
+    def test_method_names(self):
+        assert IPMF.method_name == "I-PMF"
+        assert AIPMF.method_name == "AI-PMF"
+
+    def test_greedy_alignment_variant_runs(self, rating_setup):
+        _, train_mask, _, train_interval = rating_setup
+        model = AIPMF(rank=3, align_method="greedy", **MODEL_KWARGS).fit(
+            train_interval, mask=train_mask
+        )
+        assert model.predict().shape == train_interval.shape

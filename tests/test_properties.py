@@ -1,0 +1,131 @@
+"""Cross-cutting property-based tests on the core invariants of the library.
+
+These use hypothesis to probe the interval-SVD pipeline with randomly shaped
+and randomly filled matrices, asserting the invariants the paper's theory
+guarantees (soundness of interval algebra, validity of outputs, behaviour of
+the accuracy measure) rather than specific numeric values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import harmonic_mean_accuracy, reconstruction_accuracy
+from repro.core.ilsa import ilsa
+from repro.core.isvd import isvd
+from repro.core.reconstruct import reconstruct
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import average_replacement_matrix, interval_matmul
+from repro.interval.random import random_interval_matrix
+
+COMMON_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+matrix_params = st.tuples(
+    st.integers(6, 16),          # rows
+    st.integers(6, 16),          # cols
+    st.floats(0.0, 1.0),         # interval intensity
+    st.integers(0, 10_000),      # seed
+)
+
+
+def _matrix_from(params):
+    rows, cols, intensity, seed = params
+    return random_interval_matrix((rows, cols), interval_density=1.0,
+                                  interval_intensity=intensity, rng=seed)
+
+
+class TestDecompositionInvariants:
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params, st.sampled_from(["isvd1", "isvd2", "isvd3", "isvd4"]),
+           st.sampled_from(["a", "b", "c"]))
+    def test_outputs_are_well_formed(self, params, method, target):
+        matrix = _matrix_from(params)
+        rank = min(4, min(matrix.shape))
+        decomposition = isvd(matrix, rank, method=method, target=target)
+        assert decomposition.rank == rank
+        assert decomposition.shape == matrix.shape
+        if decomposition.is_interval_core:
+            assert decomposition.sigma.is_valid()
+        if isinstance(decomposition.u, IntervalMatrix):
+            assert decomposition.u.is_valid()
+        if isinstance(decomposition.v, IntervalMatrix):
+            assert decomposition.v.is_valid()
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_hmean_accuracy_in_unit_interval(self, params):
+        matrix = _matrix_from(params)
+        rank = min(5, min(matrix.shape))
+        decomposition = isvd(matrix, rank, method="isvd4", target="b")
+        score = harmonic_mean_accuracy(matrix, decomposition)
+        assert 0.0 <= score <= 1.0
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_reconstruction_is_valid_interval_matrix(self, params):
+        matrix = _matrix_from(params)
+        rank = min(4, min(matrix.shape))
+        decomposition = isvd(matrix, rank, method="isvd3", target="a")
+        reconstruction = reconstruct(decomposition)
+        assert reconstruction.is_valid()
+        assert reconstruction.shape == matrix.shape
+
+    @settings(**COMMON_SETTINGS)
+    @given(st.integers(6, 14), st.integers(0, 10_000))
+    def test_scalar_matrices_decompose_exactly_at_full_rank(self, size, seed):
+        values = np.random.default_rng(seed).uniform(0, 1, size=(size, size + 2))
+        matrix = IntervalMatrix.from_scalar(values)
+        decomposition = isvd(matrix, size, method="isvd1", target="b")
+        report = reconstruction_accuracy(matrix, reconstruct(decomposition))
+        assert report.h_mean > 0.999
+
+
+class TestAlgebraInvariants:
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_gram_matrix_is_symmetric_interval(self, params):
+        matrix = _matrix_from(params)
+        gram = interval_matmul(matrix.T, matrix)
+        np.testing.assert_allclose(gram.lower, gram.lower.T, atol=1e-9)
+        np.testing.assert_allclose(gram.upper, gram.upper.T, atol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_average_replacement_is_idempotent(self, params):
+        matrix = _matrix_from(params)
+        # Swap endpoints of some entries to create misordered intervals.
+        flipped = IntervalMatrix(matrix.upper.copy(), matrix.lower.copy(), check=False)
+        once = average_replacement_matrix(flipped)
+        twice = average_replacement_matrix(once)
+        assert once == twice
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_matmul_width_monotone_in_operand_width(self, params):
+        matrix = _matrix_from(params)
+        narrow = IntervalMatrix.from_scalar(matrix.midpoint())
+        other = IntervalMatrix.from_scalar(
+            np.random.default_rng(0).uniform(0, 1, size=(matrix.shape[1], 4))
+        )
+        wide_product = interval_matmul(matrix, other)
+        narrow_product = interval_matmul(narrow, other)
+        assert wide_product.mean_span() >= narrow_product.mean_span() - 1e-9
+
+
+class TestAlignmentInvariants:
+    @settings(**COMMON_SETTINGS)
+    @given(st.integers(2, 8), st.integers(8, 20), st.integers(0, 10_000))
+    def test_alignment_output_is_permutation_with_unit_signs(self, rank, dim, seed):
+        rng = np.random.default_rng(seed)
+        v_lower = rng.normal(size=(dim, rank))
+        v_upper = rng.normal(size=(dim, rank))
+        result = ilsa(v_lower, v_upper)
+        assert result.is_permutation()
+        assert np.all(np.isin(result.signs, (-1.0, 1.0)))
+        assert np.all(result.matched_similarity <= 1.0 + 1e-9)

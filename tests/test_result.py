@@ -1,0 +1,129 @@
+"""Tests for the IntervalDecomposition result container."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import (
+    DecompositionTarget,
+    FactorizationHistory,
+    IntervalDecomposition,
+)
+from repro.interval.array import IntervalMatrix
+
+
+def _scalar_decomposition(n=6, m=8, r=3):
+    rng = np.random.default_rng(0)
+    return IntervalDecomposition(
+        u=rng.normal(size=(n, r)),
+        sigma=np.diag(rng.uniform(1, 2, size=r)),
+        v=rng.normal(size=(m, r)),
+        target="c",
+        method="TEST",
+        rank=r,
+    )
+
+
+class TestDecompositionTarget:
+    def test_coerce_strings(self):
+        assert DecompositionTarget.coerce("a") is DecompositionTarget.A
+        assert DecompositionTarget.coerce("B") is DecompositionTarget.B
+
+    def test_coerce_member_passthrough(self):
+        assert DecompositionTarget.coerce(DecompositionTarget.C) is DecompositionTarget.C
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            DecompositionTarget.coerce("z")
+
+
+class TestValidation:
+    def test_valid_scalar_decomposition(self):
+        decomposition = _scalar_decomposition()
+        assert decomposition.shape == (6, 8)
+
+    def test_rank_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalDecomposition(
+                u=rng.normal(size=(6, 3)), sigma=np.eye(3), v=rng.normal(size=(8, 3)),
+                target="c", method="TEST", rank=4,
+            )
+
+    def test_non_square_core_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalDecomposition(
+                u=rng.normal(size=(6, 3)), sigma=np.ones((3, 4)), v=rng.normal(size=(8, 3)),
+                target="c", method="TEST", rank=3,
+            )
+
+    def test_target_b_rejects_interval_factors(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalDecomposition(
+                u=IntervalMatrix.from_scalar(rng.normal(size=(6, 3))),
+                sigma=np.eye(3),
+                v=rng.normal(size=(8, 3)),
+                target="b", method="TEST", rank=3,
+            )
+
+    def test_target_c_rejects_interval_core(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            IntervalDecomposition(
+                u=rng.normal(size=(6, 3)),
+                sigma=IntervalMatrix.from_scalar(np.eye(3)),
+                v=rng.normal(size=(8, 3)),
+                target="c", method="TEST", rank=3,
+            )
+
+
+class TestAccessors:
+    def test_scalar_views_of_scalar_factors(self):
+        decomposition = _scalar_decomposition()
+        np.testing.assert_array_equal(decomposition.u_scalar(), decomposition.u)
+        np.testing.assert_array_equal(decomposition.sigma_scalar(), decomposition.sigma)
+
+    def test_scalar_views_of_interval_factors(self):
+        rng = np.random.default_rng(1)
+        u_base = rng.normal(size=(5, 2))
+        v_base = rng.normal(size=(6, 2))
+        u = IntervalMatrix(u_base, u_base + rng.random((5, 2)))
+        sigma = IntervalMatrix(np.diag([1.0, 2.0]), np.diag([2.0, 3.0]))
+        v = IntervalMatrix(v_base, v_base + rng.random((6, 2)))
+        decomposition = IntervalDecomposition(u=u, sigma=sigma, v=v, target="a",
+                                              method="TEST", rank=2)
+        np.testing.assert_allclose(decomposition.u_scalar(), u.midpoint())
+        assert decomposition.is_interval_core and decomposition.is_interval_factors
+
+    def test_singular_values_vector(self):
+        decomposition = _scalar_decomposition()
+        values = decomposition.singular_values()
+        assert values.shape == (3,)
+        assert values.is_scalar()
+
+    def test_projection_shape(self):
+        decomposition = _scalar_decomposition()
+        projection = decomposition.projection()
+        assert projection.shape == (6, 3)
+
+    def test_describe_mentions_method_and_target(self):
+        text = _scalar_decomposition().describe()
+        assert "TEST" in text and "target c" in text
+
+
+class TestFactorizationHistory:
+    def test_record_and_final_loss(self):
+        history = FactorizationHistory()
+        assert history.final_loss is None
+        history.record(2.0)
+        history.record(1.0)
+        assert history.epochs == 2
+        assert history.final_loss == 1.0
+
+    def test_improved(self):
+        history = FactorizationHistory()
+        history.record(2.0)
+        assert not history.improved()
+        history.record(1.5)
+        assert history.improved()

@@ -1,0 +1,114 @@
+"""Tests for the decomposition-target construction (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import DecompositionTarget
+from repro.core.targets import build_decomposition, combine_min_max
+from repro.interval.array import IntervalMatrix
+
+
+@pytest.fixture
+def factor_set(rng):
+    """A synthetic aligned min/max factor set with a known reconstruction."""
+    n, m, r = 8, 10, 4
+    u_lo = np.linalg.qr(rng.normal(size=(n, r)))[0]
+    v_lo = np.linalg.qr(rng.normal(size=(m, r)))[0]
+    s_lo = np.diag([4.0, 3.0, 2.0, 1.0])
+    u_hi = u_lo + 0.01 * rng.normal(size=(n, r))
+    v_hi = v_lo + 0.01 * rng.normal(size=(m, r))
+    s_hi = s_lo + np.diag([0.2, 0.2, 0.1, 0.1])
+    return u_lo, s_lo, v_lo, u_hi, s_hi, v_hi
+
+
+class TestCombineMinMax:
+    def test_ordered_entries_become_intervals(self):
+        result = combine_min_max(np.array([[1.0]]), np.array([[2.0]]))
+        assert result.lower[0, 0] == 1.0 and result.upper[0, 0] == 2.0
+
+    def test_misordered_entries_become_average(self):
+        result = combine_min_max(np.array([[3.0]]), np.array([[1.0]]))
+        assert result.lower[0, 0] == result.upper[0, 0] == 2.0
+
+    def test_always_valid(self, rng):
+        lower = rng.normal(size=(5, 5))
+        upper = rng.normal(size=(5, 5))
+        assert combine_min_max(lower, upper).is_valid()
+
+
+class TestTargetA:
+    def test_all_factors_interval(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="a", method="ISVD1", rank=4)
+        assert isinstance(decomposition.u, IntervalMatrix)
+        assert isinstance(decomposition.sigma, IntervalMatrix)
+        assert isinstance(decomposition.v, IntervalMatrix)
+        assert decomposition.target is DecompositionTarget.A
+
+    def test_interval_factors_enclose_inputs(self, factor_set):
+        u_lo, s_lo, v_lo, u_hi, s_hi, v_hi = factor_set
+        decomposition = build_decomposition(*factor_set, target="a", method="X", rank=4)
+        # Where the input pair was ordered, the interval covers both endpoints.
+        ordered = u_lo <= u_hi
+        assert np.all(decomposition.u.lower[ordered] <= u_lo[ordered] + 1e-12)
+        assert np.all(decomposition.u.upper[ordered] >= u_hi[ordered] - 1e-12)
+
+
+class TestTargetB:
+    def test_scalar_factors_interval_core(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="b", method="ISVD4", rank=4)
+        assert isinstance(decomposition.u, np.ndarray)
+        assert isinstance(decomposition.v, np.ndarray)
+        assert isinstance(decomposition.sigma, IntervalMatrix)
+
+    def test_factor_columns_unit_length(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="b", method="X", rank=4)
+        np.testing.assert_allclose(np.linalg.norm(decomposition.u, axis=0), 1.0, atol=1e-10)
+        np.testing.assert_allclose(np.linalg.norm(decomposition.v, axis=0), 1.0, atol=1e-10)
+
+    def test_core_rescaling_preserves_reconstruction(self, factor_set):
+        """Normalization of U,V plus the rho rescaling of Sigma must cancel out."""
+        u_lo, s_lo, v_lo, u_hi, s_hi, v_hi = factor_set
+        decomposition = build_decomposition(*factor_set, target="b", method="X", rank=4)
+        expected_mid = 0.5 * (u_lo @ s_lo @ v_lo.T + u_hi @ s_hi @ v_hi.T)
+        rebuilt_mid = decomposition.u @ decomposition.sigma.midpoint() @ decomposition.v.T
+        # The averaged reconstruction is preserved up to the (small) interaction
+        # terms dropped by averaging the factors before the product.
+        assert np.linalg.norm(rebuilt_mid - expected_mid) / np.linalg.norm(expected_mid) < 0.05
+
+    def test_core_is_valid_interval(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="b", method="X", rank=4)
+        assert decomposition.sigma.is_valid()
+
+
+class TestTargetC:
+    def test_all_scalar(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="c", method="ISVD0", rank=4)
+        assert not decomposition.is_interval_factors
+        assert not decomposition.is_interval_core
+
+    def test_core_is_midpoint_of_target_b_core(self, factor_set):
+        b = build_decomposition(*factor_set, target="b", method="X", rank=4)
+        c = build_decomposition(*factor_set, target="c", method="X", rank=4)
+        np.testing.assert_allclose(np.diag(c.sigma), np.diag(b.sigma.midpoint()), atol=1e-10)
+
+
+class TestInputFlexibility:
+    def test_sigma_accepts_vectors(self, factor_set):
+        u_lo, s_lo, v_lo, u_hi, s_hi, v_hi = factor_set
+        decomposition = build_decomposition(
+            u_lo, np.diag(s_lo), v_lo, u_hi, np.diag(s_hi), v_hi,
+            target="b", method="X", rank=4,
+        )
+        assert decomposition.sigma.shape == (4, 4)
+
+    def test_target_coercion_accepts_uppercase(self, factor_set):
+        decomposition = build_decomposition(*factor_set, target="B", method="X", rank=4)
+        assert decomposition.target is DecompositionTarget.B
+
+    def test_metadata_and_timings_are_attached(self, factor_set):
+        decomposition = build_decomposition(
+            *factor_set, target="a", method="X", rank=4,
+            timings={"decomposition": 1.0}, metadata={"note": "test"},
+        )
+        assert decomposition.timings["decomposition"] == 1.0
+        assert decomposition.metadata["note"] == "test"
