@@ -1,14 +1,18 @@
 """Command-line interface for the library.
 
-Three sub-commands:
+Four sub-commands:
 
 * ``decompose`` — decompose an interval matrix stored on disk (wide CSV, two
-  endpoint CSVs, or NPZ) with a chosen ISVD method/target, report the
+  endpoint CSVs, or NPZ) with any registered factorization method, report the
   reconstruction accuracy, and optionally save the factors to an NPZ archive.
-* ``experiment`` — run one of the paper's experiments and print its table
-  (optionally writing the rows to a JSON file).
+* ``experiment`` — run one of the paper's experiments, optionally in parallel
+  (``--jobs``) and with an on-disk decomposition cache (``--cache-dir``), and
+  print its tables (``--format table``) or emit the structured records as JSON
+  or CSV.
 * ``generate`` — write a synthetic interval matrix (uniform or anonymized) to
   disk, for trying the tool without any data at hand.
+* ``list-methods`` — show every key of the factorizer registry with its
+  capability metadata.
 
 Run ``python -m repro --help`` for usage.
 """
@@ -16,17 +20,19 @@ Run ``python -m repro --help`` for usage.
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.core import registry
 from repro.core.accuracy import harmonic_mean_accuracy
-from repro.core.isvd import ISVDMethod, isvd
+from repro.experiments.engine import ExperimentEngine
 from repro.interval.array import IntervalMatrix
 from repro import io as repro_io
 
-#: Experiment registry: name -> callable returning {label: ExperimentResult}.
-def _experiment_registry() -> Dict[str, Callable[[], Dict[str, object]]]:
+#: Experiment registry: name -> callable(engine) returning {label: ExperimentResult}.
+def _experiment_registry() -> Dict[str, Callable[[ExperimentEngine], Dict[str, object]]]:
     from repro.experiments import (
         alignment,
         fig6_overview,
@@ -39,15 +45,15 @@ def _experiment_registry() -> Dict[str, Callable[[], Dict[str, object]]]:
     )
 
     return {
-        "fig3": lambda: {"fig3": alignment.run_figure3()},
-        "fig5": lambda: {"fig5": alignment.run_figure5()},
-        "fig6": lambda: fig6_overview.run(),
-        "table2": lambda: table2_sweeps.run(),
-        "fig7": lambda: fig7_anonymized.run(),
-        "fig8": lambda: fig8_faces.run(),
-        "table3": lambda: {"table3": table3_clustering.run()},
-        "fig9": lambda: fig9_social.run(),
-        "fig10": lambda: {"fig10": fig10_cf.run()},
+        "fig3": lambda engine: {"fig3": alignment.run_figure3()},
+        "fig5": lambda engine: {"fig5": alignment.run_figure5()},
+        "fig6": lambda engine: fig6_overview.run(engine=engine),
+        "table2": lambda engine: table2_sweeps.run(engine=engine),
+        "fig7": lambda engine: fig7_anonymized.run(engine=engine),
+        "fig8": lambda engine: fig8_faces.run(engine=engine),
+        "table3": lambda engine: {"table3": table3_clustering.run()},
+        "fig9": lambda engine: fig9_social.run(engine=engine),
+        "fig10": lambda engine: {"fig10": fig10_cf.run(engine=engine)},
     }
 
 
@@ -66,7 +72,12 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args)
     rank = args.rank or min(matrix.shape)
     rank = min(rank, min(matrix.shape))
-    decomposition = isvd(matrix, rank, method=args.method, target=args.target)
+    info = registry.get(args.method)
+    target = args.target or info.default_target
+    try:
+        decomposition = info.fit(matrix, rank, target=target, seed=args.seed)
+    except ValueError as error:  # RegistryError, non-negativity, rank bounds...
+        raise SystemExit(str(error))
     accuracy = harmonic_mean_accuracy(matrix, decomposition)
     print(decomposition.describe())
     print(f"input shape: {matrix.shape}, mean interval width: {matrix.mean_span():.6g}")
@@ -78,21 +89,38 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    registry = _experiment_registry()
-    if args.name not in registry:
-        raise SystemExit(f"unknown experiment {args.name!r}; choose from {sorted(registry)}")
-    results = registry[args.name]()
-    exported = {}
+def _experiment_payload(results: Dict[str, object]) -> Dict[str, object]:
+    return {label: result.to_payload() for label, result in results.items()}
+
+
+def _print_results_csv(results: Dict[str, object]) -> None:
+    writer = csv.writer(sys.stdout, lineterminator="\n")
     for label, result in results.items():
-        print(result.to_text())
-        print()
-        exported[label] = {"headers": result.headers, "rows": result.rows,
-                           "notes": result.notes}
+        writer.writerow(["experiment", label])
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+        writer.writerow([])
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiments = _experiment_registry()
+    if args.name not in experiments:
+        raise SystemExit(f"unknown experiment {args.name!r}; choose from {sorted(experiments)}")
+    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    results = experiments[args.name](engine)
+    if args.format == "json":
+        print(json.dumps(_experiment_payload(results), indent=2, default=str))
+    elif args.format == "csv":
+        _print_results_csv(results)
+    else:
+        for result in results.values():
+            print(result.to_text())
+            print()
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(exported, handle, indent=2, default=str)
-        print(f"rows written to {args.json}")
+            json.dump(_experiment_payload(results), handle, indent=2, default=str)
+        print(f"rows written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -119,6 +147,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_methods(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+
+    rows = [
+        [
+            info.key,
+            info.display_name,
+            "/".join(info.targets),
+            info.default_target,
+            info.cost,
+            "yes" if info.stochastic else "no",
+            info.summary,
+        ]
+        for info in registry.infos()
+    ]
+    print(format_table(
+        ["key", "name", "targets", "default", "cost", "stochastic", "summary"],
+        rows, title="Registered factorization methods",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -133,16 +183,26 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--lower", help="CSV of lower bounds (with --upper)")
     decompose.add_argument("--upper", help="CSV of upper bounds (with --lower)")
     decompose.add_argument("--rank", type=int, default=None, help="target rank (default: full)")
-    decompose.add_argument("--method", default="isvd4",
-                           choices=[m.value for m in ISVDMethod], help="ISVD strategy")
-    decompose.add_argument("--target", default="b", choices=["a", "b", "c"],
-                           help="decomposition target")
+    decompose.add_argument("--method", default="isvd4", choices=registry.available(),
+                           help="factorization method (see `repro list-methods`)")
+    decompose.add_argument("--target", default=None, choices=["a", "b", "c"],
+                           help="decomposition target (default: the method's)")
+    decompose.add_argument("--seed", type=int, default=None,
+                           help="seed for stochastic methods")
     decompose.add_argument("--output", help="write the factors to this NPZ path")
     decompose.set_defaults(handler=_cmd_decompose)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument("name", help="fig3, fig5, fig6, table2, fig7, fig8, table3, fig9, fig10")
-    experiment.add_argument("--json", help="also write the rows to this JSON path")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="parallel worker threads (0 = one per CPU)")
+    experiment.add_argument("--cache-dir",
+                            help="directory for the on-disk decomposition cache "
+                                 "(reused by the decomposition grids; timing and "
+                                 "model-training experiments always recompute)")
+    experiment.add_argument("--format", choices=["table", "json", "csv"], default="table",
+                            help="output format printed to stdout")
+    experiment.add_argument("--json", help="also write the rows/records to this JSON path")
     experiment.set_defaults(handler=_cmd_experiment)
 
     generate = subparsers.add_parser("generate", help="write a synthetic interval matrix")
@@ -155,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--profile", choices=["high", "medium", "low"], default="medium")
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(handler=_cmd_generate)
+
+    list_methods = subparsers.add_parser(
+        "list-methods", help="list every registered factorization method")
+    list_methods.set_defaults(handler=_cmd_list_methods)
     return parser
 
 

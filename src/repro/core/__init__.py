@@ -25,8 +25,10 @@ from repro.core.accuracy import (
 )
 from repro.core.inmf import NMF, INMF, AINMF
 from repro.core.ipmf import PMF, IPMF, AIPMF
+from repro.core import registry
 
 __all__ = [
+    "registry",
     "DecompositionTarget",
     "IntervalDecomposition",
     "AlignmentResult",

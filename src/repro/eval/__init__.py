@@ -1,6 +1,7 @@
 """Evaluation substrate: metrics, classification, clustering, collaborative filtering."""
 
 from repro.eval.metrics import f1_macro, normalized_mutual_information, rmse_score
+from repro.eval.features import latent_features
 from repro.eval.knn import IntervalNearestNeighbor, nn_classification_f1
 from repro.eval.kmeans import IntervalKMeans, kmeans_nmi
 from repro.eval.cf import rating_prediction_rmse, reconstruction_rating_rmse
@@ -9,6 +10,7 @@ __all__ = [
     "f1_macro",
     "normalized_mutual_information",
     "rmse_score",
+    "latent_features",
     "IntervalNearestNeighbor",
     "nn_classification_f1",
     "IntervalKMeans",

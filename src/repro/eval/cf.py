@@ -11,7 +11,7 @@ Two prediction pipelines are evaluated in the paper:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -46,14 +46,30 @@ def reconstruction_rating_rmse(
     true_ratings: np.ndarray,
     test_mask: np.ndarray,
     clip_range: tuple = (1.0, 5.0),
+    method: Optional[str] = None,
+    rank: Optional[int] = None,
+    target: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> float:
     """RMSE of reconstruction-based rating prediction.
 
     Accepts either an :class:`IntervalDecomposition` (reconstructed per its
     target) or an already-reconstructed interval matrix; the midpoint of each
-    reconstructed interval is the predicted rating.
+    reconstructed interval is the predicted rating.  When ``method`` (a
+    factorizer-registry key) is given, the first argument is instead the raw
+    interval rating matrix, which is decomposed at ``rank`` with that method
+    and reconstructed before scoring.
     """
-    if isinstance(decomposition_or_matrix, IntervalDecomposition):
+    if method is not None:
+        from repro.core import registry
+
+        matrix = IntervalMatrix.coerce(decomposition_or_matrix)
+        if rank is None:
+            raise ValueError("rank is required when predicting via a method key")
+        rank = min(rank, min(matrix.shape))
+        decomposition = registry.get(method).fit(matrix, rank, target=target, seed=seed)
+        reconstruction = reconstruct(decomposition)
+    elif isinstance(decomposition_or_matrix, IntervalDecomposition):
         reconstruction = reconstruct(decomposition_or_matrix)
     else:
         reconstruction = IntervalMatrix.coerce(decomposition_or_matrix)

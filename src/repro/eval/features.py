@@ -1,0 +1,42 @@
+"""Latent features from any registered factorization method.
+
+The classification/clustering experiments all consume the same feature
+representation: the row projections ``U x Sigma`` of a decomposition.  This
+helper makes that representation available for *any* key of the factorizer
+registry, so the evaluation entry points are not tied to the ISVD family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core import registry
+from repro.interval.array import IntervalMatrix
+
+
+def latent_features(
+    matrix: Union[IntervalMatrix, np.ndarray],
+    method: str,
+    rank: int,
+    target: Optional[str] = None,
+    seed: Optional[int] = None,
+    **options: object,
+) -> IntervalMatrix:
+    """Row features ``U x Sigma`` of a registered method's decomposition.
+
+    ``method`` is any key of :mod:`repro.core.registry` (``isvd4``, ``inmf``,
+    ``interval-pca``, ...).  The rank is clipped to the matrix, and inputs are
+    clipped to non-negative values for methods that require it, so any
+    registered key works on any interval matrix.  The result is an interval
+    matrix (degenerate for scalar-only methods), which every evaluator in
+    :mod:`repro.eval` accepts.
+    """
+    info = registry.get(method)
+    matrix = IntervalMatrix.coerce(matrix)
+    if info.requires_nonnegative:
+        matrix = matrix.clip_nonnegative()
+    rank = min(rank, min(matrix.shape))
+    decomposition = info.fit(matrix, rank, target=target, seed=seed, **options)
+    return decomposition.projection()

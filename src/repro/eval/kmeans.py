@@ -120,11 +120,29 @@ def kmeans_nmi(
     labels: np.ndarray,
     n_clusters: Optional[int] = None,
     seed: SeedLike = None,
+    method: Optional[str] = None,
+    rank: Optional[int] = None,
+    target: Optional[str] = None,
 ) -> float:
-    """Cluster the features and score the result against true labels with NMI."""
+    """Cluster the features and score the result against true labels with NMI.
+
+    When ``method`` (a factorizer-registry key) is given, ``features`` is
+    treated as the raw interval matrix and replaced by the ``U x Sigma``
+    latent features of that method's rank-``rank`` decomposition first.
+    """
     labels = np.asarray(labels)
+    rng = None if seed is None else default_rng(seed)
+    if method is not None:
+        from repro.eval.features import latent_features
+
+        if rank is None:
+            raise ValueError("rank is required when clustering via a method key")
+        # Draw both seeds from one generator so the factorization and the
+        # k-means initialization get decorrelated streams.
+        fit_seed = None if rng is None else int(rng.integers(2**31 - 1))
+        features = latent_features(features, method, rank, target=target, seed=fit_seed)
     if n_clusters is None:
         n_clusters = int(np.unique(labels).size)
-    seed_int = None if seed is None else int(default_rng(seed).integers(2**31 - 1))
+    seed_int = None if rng is None else int(rng.integers(2**31 - 1))
     clustering = IntervalKMeans(n_clusters=n_clusters, seed=seed_int).fit_predict(features)
     return normalized_mutual_information(labels, clustering)

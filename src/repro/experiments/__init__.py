@@ -21,6 +21,15 @@ Module              Paper artifact
 ==================  ===========================================================
 """
 
+from repro.experiments.engine import (
+    DecompositionCache,
+    ExperimentEngine,
+    ExperimentRecord,
+    GridSpec,
+    derive_seed,
+    records_to_csv,
+    records_to_json,
+)
 from repro.experiments.runner import ExperimentResult, MethodSpec, DEFAULT_METHOD_GRID
 from repro.experiments.report import format_table
 
@@ -29,4 +38,11 @@ __all__ = [
     "MethodSpec",
     "DEFAULT_METHOD_GRID",
     "format_table",
+    "ExperimentEngine",
+    "ExperimentRecord",
+    "DecompositionCache",
+    "GridSpec",
+    "derive_seed",
+    "records_to_json",
+    "records_to_csv",
 ]

@@ -15,9 +15,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import time
+
 from repro.core.ipmf import AIPMF, IPMF, PMF
 from repro.datasets.ratings import RatingsDataset, make_ratings_dataset, rating_interval_matrix
 from repro.eval.cf import rating_prediction_rmse
+from repro.experiments.engine import ExperimentEngine, ExperimentRecord
 from repro.experiments.runner import ExperimentResult
 from repro.interval.array import IntervalMatrix
 
@@ -74,26 +77,47 @@ def _model_kwargs(config: Figure10Config, rank: int) -> Dict[str, object]:
     )
 
 
-def run(config: Optional[Figure10Config] = None) -> ExperimentResult:
-    """Train PMF / I-PMF / AI-PMF across ranks and report held-out RMSE."""
+def run(config: Optional[Figure10Config] = None,
+        engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
+    """Train PMF / I-PMF / AI-PMF across ranks and report held-out RMSE.
+
+    Each rank's three model fits are independent, so the rank sweep fans out
+    through the engine's ``map`` when ``engine.jobs > 1``.
+    """
     config = config or Figure10Config()
+    engine = engine or ExperimentEngine()
     dataset, train_ratings, train_mask, test_mask, interval_train = _prepare(config)
 
     result = ExperimentResult(
         name="Figure 10: collaborative filtering RMSE (lower is better)",
         headers=["rank", "PMF", "I-PMF", "AI-PMF"],
     )
-    for rank in config.ranks:
+
+    models = (
+        ("PMF", "pmf", "c", PMF, lambda: train_ratings),
+        ("I-PMF", "ipmf", "a", IPMF, lambda: interval_train),
+        ("AI-PMF", "aipmf", "a", AIPMF, lambda: interval_train),
+    )
+
+    def run_rank(rank: int) -> List[object]:
         rank = min(rank, min(dataset.ratings.shape))
-        pmf = PMF(**_model_kwargs(config, rank)).fit(train_ratings, mask=train_mask)
-        ipmf = IPMF(**_model_kwargs(config, rank)).fit(interval_train, mask=train_mask)
-        aipmf = AIPMF(**_model_kwargs(config, rank)).fit(interval_train, mask=train_mask)
-        result.add_row(
-            rank,
-            rating_prediction_rmse(pmf, dataset.ratings, test_mask),
-            rating_prediction_rmse(ipmf, dataset.ratings, test_mask),
-            rating_prediction_rmse(aipmf, dataset.ratings, test_mask),
-        )
+        row: List[object] = [rank]
+        records: List[ExperimentRecord] = []
+        for label, method, target, cls, training_data in models:
+            start = time.perf_counter()
+            model = cls(**_model_kwargs(config, rank)).fit(training_data(), mask=train_mask)
+            value = rating_prediction_rmse(model, dataset.ratings, test_mask)
+            row.append(value)
+            records.append(ExperimentRecord(
+                experiment="fig10", trial=0, method=method, label=label,
+                target=target, rank=rank, seed=config.seed, metric="rmse",
+                value=float(value), duration=time.perf_counter() - start,
+            ))
+        return [row, records]
+
+    for row, records in engine.map(run_rank, config.ranks):
+        result.add_row(*row)
+        result.add_records(records)
     result.add_note(
         f"{dataset.n_users} users, {dataset.n_items} items, density {dataset.density:.2f}, "
         f"alpha={config.alpha}, {config.epochs} epochs"

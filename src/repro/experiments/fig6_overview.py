@@ -4,21 +4,20 @@ Figure 6(a) compares the harmonic-mean reconstruction accuracy of every
 ISVD variant under each decomposition target (plus the LP competitor);
 Figure 6(b) breaks the execution time down into preprocessing, decomposition,
 alignment and recomposition phases.
+
+Both parts route their grids through the experiment engine, so ``run(...,
+engine=ExperimentEngine(jobs=N, cache_dir=...))`` fans the cells out in
+parallel and reuses cached decompositions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from repro.core.accuracy import harmonic_mean_accuracy
 from repro.datasets.synthetic import SyntheticConfig, generate_trials
+from repro.experiments.engine import TIMING_PHASES, ExperimentEngine
 from repro.experiments.runner import ExperimentResult, MethodSpec, isvd_grid
-from repro.interval.array import IntervalMatrix
-
-_PHASES = ("preprocessing", "decomposition", "alignment", "recomposition")
 
 
 @dataclass
@@ -32,60 +31,66 @@ class Figure6Config:
     targets: Sequence[str] = ("a", "b", "c")
 
 
-def _evaluate(matrices: List[IntervalMatrix], spec: MethodSpec, rank: int):
-    """Average H-mean and per-phase timings of one method over the trials."""
-    scores = []
-    timings = {phase: [] for phase in _PHASES}
-    for matrix in matrices:
-        decomposition = spec.decompose(matrix, rank)
-        scores.append(harmonic_mean_accuracy(matrix, decomposition))
-        for phase in _PHASES:
-            timings[phase].append(decomposition.timings.get(phase, 0.0))
-    mean_timings = {phase: float(np.mean(values)) for phase, values in timings.items()}
-    return float(np.mean(scores)), mean_timings
-
-
-def run_accuracy(config: Optional[Figure6Config] = None) -> ExperimentResult:
+def run_accuracy(config: Optional[Figure6Config] = None,
+                 engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Figure 6(a): H-mean accuracy of every method/target combination."""
     config = config or Figure6Config()
+    engine = engine or ExperimentEngine()
     matrices = list(generate_trials(config.synthetic, trials=config.trials, seed=config.seed))
     specs = isvd_grid(targets=config.targets, include_lp=config.include_lp)
 
+    grid = engine.evaluate_grid(matrices, specs, config.synthetic.rank,
+                                experiment="fig6_accuracy")
+    scores = grid.scores()
     result = ExperimentResult(
         name="Figure 6(a): H-mean reconstruction accuracy (default configuration)",
         headers=["option", "method", "H-mean"],
     )
     for spec in specs:
-        score, _ = _evaluate(matrices, spec, config.synthetic.rank)
-        result.add_row(spec.option, spec.label, score)
+        result.add_row(spec.option, spec.label, scores[spec.label])
+    result.add_records(grid.records)
     result.add_note(f"config: {config.synthetic.describe()}, trials={config.trials}")
     result.add_note("paper shape: ISVD#-b best overall, ISVD4-b highest; LP near zero")
     return result
 
 
-def run_timings(config: Optional[Figure6Config] = None) -> ExperimentResult:
+def run_timings(config: Optional[Figure6Config] = None,
+                engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Figure 6(b): execution-time breakdown per phase (option b methods)."""
     config = config or Figure6Config()
+    engine = engine or ExperimentEngine()
+    # Timing rows are the measurement itself: cached decompositions carry no
+    # phase timings, and concurrent cells contend for CPU, so this grid always
+    # recomputes serially regardless of the engine's cache/jobs settings.
+    if engine.cache is not None or engine.jobs != 1:
+        engine = ExperimentEngine(jobs=1, base_seed=engine.base_seed)
     matrices = list(generate_trials(config.synthetic, trials=config.trials, seed=config.seed))
     specs = [spec for spec in isvd_grid(targets=("b",), include_lp=False)]
     specs.insert(0, MethodSpec("ISVD0", "isvd0", "c"))
 
+    grid = engine.evaluate_grid(matrices, specs, config.synthetic.rank,
+                                experiment="fig6_timings")
+    timings = grid.mean_timings(TIMING_PHASES)
     result = ExperimentResult(
         name="Figure 6(b): execution time breakdown in seconds (default configuration)",
-        headers=["method", *(_PHASES), "total"],
+        headers=["method", *(TIMING_PHASES), "total"],
     )
     for spec in specs:
-        _, timings = _evaluate(matrices, spec, config.synthetic.rank)
-        total = sum(timings.values())
-        result.add_row(spec.label, *(timings[phase] for phase in _PHASES), total)
+        per_phase = timings[spec.label]
+        result.add_row(spec.label, *(per_phase[phase] for phase in TIMING_PHASES),
+                       sum(per_phase.values()))
+    result.add_records(grid.records)
     result.add_note("alignment cost is small relative to decomposition, as in the paper")
     return result
 
 
-def run(config: Optional[Figure6Config] = None) -> Dict[str, ExperimentResult]:
+def run(config: Optional[Figure6Config] = None,
+        engine: Optional[ExperimentEngine] = None) -> Dict[str, ExperimentResult]:
     """Run both parts of the Figure 6 experiment."""
     config = config or Figure6Config()
-    return {"accuracy": run_accuracy(config), "timings": run_timings(config)}
+    engine = engine or ExperimentEngine()
+    return {"accuracy": run_accuracy(config, engine=engine),
+            "timings": run_timings(config, engine=engine)}
 
 
 def main() -> None:

@@ -13,10 +13,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.anonymized import PRIVACY_PROFILES, make_anonymized_matrix
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     ExperimentResult,
     MethodSpec,
-    evaluate_grid,
     isvd_grid,
     rank_order,
 )
@@ -41,9 +41,11 @@ def _rank_from_fraction(shape: Tuple[int, int], fraction: float) -> int:
     return max(1, int(round(full_rank * fraction)))
 
 
-def run_profile(profile: str, config: Optional[Figure7Config] = None) -> ExperimentResult:
+def run_profile(profile: str, config: Optional[Figure7Config] = None,
+                engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """One privacy profile's table (Figure 7(a), (b) or (c))."""
     config = config or Figure7Config()
+    engine = engine or ExperimentEngine()
     if profile not in PRIVACY_PROFILES:
         raise ValueError(f"unknown privacy profile {profile!r}")
     rng = default_rng(config.seed)
@@ -65,9 +67,12 @@ def run_profile(profile: str, config: Optional[Figure7Config] = None) -> Experim
     per_fraction_orders: Dict[float, Dict[str, int]] = {}
     for fraction in config.rank_fractions:
         rank = _rank_from_fraction(config.shape, fraction)
-        scores = evaluate_grid(matrices, specs, rank)
+        grid = engine.evaluate_grid(matrices, specs, rank,
+                                    experiment=f"fig7_{profile}")
+        scores = grid.scores()
         per_fraction_scores[fraction] = scores
         per_fraction_orders[fraction] = rank_order(scores)
+        result.add_records(grid.records)
 
     for spec in specs:
         row: List[object] = [spec.option, spec.label]
@@ -82,10 +87,13 @@ def run_profile(profile: str, config: Optional[Figure7Config] = None) -> Experim
     return result
 
 
-def run(config: Optional[Figure7Config] = None) -> Dict[str, ExperimentResult]:
+def run(config: Optional[Figure7Config] = None,
+        engine: Optional[ExperimentEngine] = None) -> Dict[str, ExperimentResult]:
     """Run the experiment for every requested privacy profile."""
     config = config or Figure7Config()
-    return {profile: run_profile(profile, config) for profile in config.profiles}
+    engine = engine or ExperimentEngine()
+    return {profile: run_profile(profile, config, engine=engine)
+            for profile in config.profiles}
 
 
 def main() -> None:

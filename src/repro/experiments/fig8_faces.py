@@ -8,24 +8,26 @@ and I-NMF competitors:
 * (b) macro-F1 of 1-NN classification on the ``U x Sigma`` latent features
   (interval Euclidean distance, 50% of each subject's images for training);
 * (c) NMI of K-means clustering (K = number of subjects) on the same features.
+
+Every method is dispatched through the factorizer registry, and the
+(rank x method) cells fan out through the experiment engine's ``map`` when an
+engine with ``jobs > 1`` is passed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.core.inmf import INMF, NMF
-from repro.core.isvd import isvd
+from repro.core import registry
 from repro.core.reconstruct import reconstruct
 from repro.datasets.faces import FaceDataset, make_face_dataset
 from repro.eval.kmeans import kmeans_nmi
 from repro.eval.knn import nn_classification_f1
 from repro.eval.metrics import rmse_score
+from repro.experiments.engine import ExperimentEngine, ExperimentRecord
 from repro.experiments.runner import ExperimentResult
-from repro.interval.array import IntervalMatrix
 
 
 @dataclass
@@ -51,127 +53,187 @@ class Figure8Config:
         )
 
 
-#: Methods compared in Figure 8 (label -> (kind, options)).
+#: Methods compared in Figure 8 (label -> registry key and target).
 _FACE_METHODS: Dict[str, Dict[str, str]] = {
-    "NMF": {"kind": "nmf"},
-    "I-NMF": {"kind": "inmf"},
-    "ISVD0": {"kind": "isvd", "method": "isvd0", "target": "c"},
-    "ISVD1-b": {"kind": "isvd", "method": "isvd1", "target": "b"},
-    "ISVD2-b": {"kind": "isvd", "method": "isvd2", "target": "b"},
-    "ISVD3-b": {"kind": "isvd", "method": "isvd3", "target": "b"},
-    "ISVD4-b": {"kind": "isvd", "method": "isvd4", "target": "b"},
-    "ISVD4-c": {"kind": "isvd", "method": "isvd4", "target": "c"},
+    "NMF": {"method": "nmf", "target": "c"},
+    "I-NMF": {"method": "inmf", "target": "a"},
+    "ISVD0": {"method": "isvd0", "target": "c"},
+    "ISVD1-b": {"method": "isvd1", "target": "b"},
+    "ISVD2-b": {"method": "isvd2", "target": "b"},
+    "ISVD3-b": {"method": "isvd3", "target": "b"},
+    "ISVD4-b": {"method": "isvd4", "target": "b"},
+    "ISVD4-c": {"method": "isvd4", "target": "c"},
 }
 
 
-def _fit_method(label: str, dataset: FaceDataset, rank: int, config: Figure8Config):
-    """Fit one method and return ``(reconstruction_midpoint, features)``."""
+def _fit_method(label: str, dataset: FaceDataset, rank: int, config: Figure8Config,
+                engine: Optional[ExperimentEngine] = None):
+    """Fit one method via the registry; return ``(reconstruction_midpoint, features)``.
+
+    Going through ``engine.decompose`` means a ``--cache-dir`` engine reuses
+    decompositions across the three sub-experiments and across reruns.
+    """
+    engine = engine or ExperimentEngine()
     options = _FACE_METHODS[label]
+    info = registry.get(options["method"])
     rank = min(rank, min(dataset.intervals.shape))
-    if options["kind"] == "nmf":
-        model = NMF(rank=rank, max_iter=config.nmf_iterations, seed=config.seed)
-        model.fit(dataset.intervals)
-        return model.reconstruct(), model.features()
-    if options["kind"] == "inmf":
-        model = INMF(rank=rank, max_iter=config.nmf_iterations, seed=config.seed)
-        model.fit(dataset.intervals.clip_nonnegative())
-        return model.reconstruct().midpoint(), model.features()
-    decomposition = isvd(
-        dataset.intervals, rank, method=options["method"], target=options["target"]
-    )
+    matrix = dataset.intervals
+    fit_options: Dict[str, object] = {}
+    if info.requires_nonnegative:
+        matrix = matrix.clip_nonnegative()
+    if info.cost == "iterative":
+        fit_options["max_iter"] = config.nmf_iterations
+    decomposition, _ = engine.decompose(matrix, options["method"], rank,
+                                        target=options["target"],
+                                        seed=config.seed, **fit_options)
     reconstruction = reconstruct(decomposition).midpoint()
     features = decomposition.projection()
     return reconstruction, features
 
 
 def run_reconstruction(config: Optional[Figure8Config] = None,
-                       methods: Optional[Sequence[str]] = None) -> ExperimentResult:
+                       methods: Optional[Sequence[str]] = None,
+                       engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Figure 8(a): reconstruction RMSE per rank (lower is better)."""
     config = config or Figure8Config()
+    engine = engine or ExperimentEngine()
     methods = list(methods or ("NMF", "I-NMF", "ISVD0", "ISVD4-b", "ISVD4-c"))
     dataset = config.dataset()
+
+    cells: List[Tuple[int, str]] = [
+        (rank, label) for rank in config.reconstruction_ranks for label in methods
+    ]
+
+    def score_cell(cell: Tuple[int, str]) -> Tuple[float, float]:
+        rank, label = cell
+        start = time.perf_counter()
+        reconstruction, _ = _fit_method(label, dataset, rank, config, engine=engine)
+        value = rmse_score(dataset.images, reconstruction)
+        return value, time.perf_counter() - start
+
+    outcomes = engine.map(score_cell, cells)
+    values = [value for value, _ in outcomes]
 
     result = ExperimentResult(
         name="Figure 8(a): face reconstruction RMSE (lower is better)",
         headers=["rank", *methods],
     )
-    for rank in config.reconstruction_ranks:
-        row: List[object] = [rank]
-        for label in methods:
-            reconstruction, _ = _fit_method(label, dataset, rank, config)
-            row.append(rmse_score(dataset.images, reconstruction))
-        result.add_row(*row)
+    for i, rank in enumerate(config.reconstruction_ranks):
+        result.add_row(rank, *values[i * len(methods):(i + 1) * len(methods)])
+    result.add_records(_cell_records("fig8_reconstruction", dataset, config,
+                                     cells, outcomes, "rmse"))
     result.add_note("ISVD0 / ISVD4-b / ISVD4-c should beat NMF and I-NMF (paper Section 6.4.1)")
     return result
 
 
 def _classification_features(label: str, dataset: FaceDataset, rank: int,
-                             config: Figure8Config):
-    _, features = _fit_method(label, dataset, rank, config)
+                             config: Figure8Config,
+                             engine: Optional[ExperimentEngine] = None):
+    _, features = _fit_method(label, dataset, rank, config, engine=engine)
     return features
 
 
+def _cell_records(experiment: str, dataset: FaceDataset, config: Figure8Config,
+                  cells: Sequence[Tuple[int, str]],
+                  outcomes: Sequence[Tuple[float, float]],
+                  metric: str) -> List[ExperimentRecord]:
+    """One structured record per (rank, method) cell of a face experiment."""
+    records = []
+    for (rank, label), (value, duration) in zip(cells, outcomes):
+        options = _FACE_METHODS[label]
+        records.append(ExperimentRecord(
+            experiment=experiment, trial=0, method=options["method"], label=label,
+            target=options["target"], rank=min(rank, min(dataset.intervals.shape)),
+            seed=config.seed, metric=metric, value=float(value), duration=duration,
+        ))
+    return records
+
+
 def run_nn_classification(config: Optional[Figure8Config] = None,
-                          methods: Optional[Sequence[str]] = None) -> ExperimentResult:
+                          methods: Optional[Sequence[str]] = None,
+                          engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Figure 8(b): 1-NN classification macro-F1 per rank (higher is better)."""
     config = config or Figure8Config()
+    engine = engine or ExperimentEngine()
     methods = list(methods or ("NMF", "I-NMF", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"))
     dataset = config.dataset()
     train_idx, test_idx = dataset.train_test_split(config.train_fraction, rng=config.seed)
+
+    cells: List[Tuple[int, str]] = [
+        (rank, label) for rank in config.classification_ranks for label in methods
+    ]
+
+    def score_cell(cell: Tuple[int, str]) -> Tuple[float, float]:
+        rank, label = cell
+        start = time.perf_counter()
+        features = _classification_features(label, dataset, rank, config, engine=engine)
+        train_features = features[train_idx, :]
+        test_features = features[test_idx, :]
+        value = nn_classification_f1(
+            train_features, dataset.labels[train_idx],
+            test_features, dataset.labels[test_idx],
+        )
+        return value, time.perf_counter() - start
+
+    outcomes = engine.map(score_cell, cells)
+    values = [value for value, _ in outcomes]
 
     result = ExperimentResult(
         name="Figure 8(b): 1-NN classification macro-F1 (higher is better)",
         headers=["rank", *methods],
     )
-    for rank in config.classification_ranks:
-        row: List[object] = [rank]
-        for label in methods:
-            features = _classification_features(label, dataset, rank, config)
-            if isinstance(features, IntervalMatrix):
-                train_features = features[train_idx, :]
-                test_features = features[test_idx, :]
-            else:
-                train_features = features[train_idx]
-                test_features = features[test_idx]
-            row.append(
-                nn_classification_f1(
-                    train_features, dataset.labels[train_idx],
-                    test_features, dataset.labels[test_idx],
-                )
-            )
-        result.add_row(*row)
+    for i, rank in enumerate(config.classification_ranks):
+        result.add_row(rank, *values[i * len(methods):(i + 1) * len(methods)])
+    result.add_records(_cell_records("fig8_nn_classification", dataset, config,
+                                     cells, outcomes, "macro_f1"))
     result.add_note("ISVD1/ISVD2 are the paper's best performers at low ranks (Section 6.4.2)")
     return result
 
 
 def run_clustering(config: Optional[Figure8Config] = None,
-                   methods: Optional[Sequence[str]] = None) -> ExperimentResult:
+                   methods: Optional[Sequence[str]] = None,
+                   engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Figure 8(c): K-means clustering NMI per rank (higher is better)."""
     config = config or Figure8Config()
+    engine = engine or ExperimentEngine()
     methods = list(methods or ("NMF", "I-NMF", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"))
     dataset = config.dataset()
+
+    cells: List[Tuple[int, str]] = [
+        (rank, label) for rank in config.classification_ranks for label in methods
+    ]
+
+    def score_cell(cell: Tuple[int, str]) -> Tuple[float, float]:
+        rank, label = cell
+        start = time.perf_counter()
+        features = _classification_features(label, dataset, rank, config, engine=engine)
+        value = kmeans_nmi(features, dataset.labels, seed=config.seed)
+        return value, time.perf_counter() - start
+
+    outcomes = engine.map(score_cell, cells)
+    values = [value for value, _ in outcomes]
 
     result = ExperimentResult(
         name="Figure 8(c): clustering NMI (higher is better)",
         headers=["rank", *methods],
     )
-    for rank in config.classification_ranks:
-        row: List[object] = [rank]
-        for label in methods:
-            features = _classification_features(label, dataset, rank, config)
-            row.append(kmeans_nmi(features, dataset.labels, seed=config.seed))
-        result.add_row(*row)
+    for i, rank in enumerate(config.classification_ranks):
+        result.add_row(rank, *values[i * len(methods):(i + 1) * len(methods)])
+    result.add_records(_cell_records("fig8_clustering", dataset, config,
+                                     cells, outcomes, "nmi"))
     result.add_note("clustering with K = number of subjects, scored with NMI")
     return result
 
 
-def run(config: Optional[Figure8Config] = None) -> Dict[str, ExperimentResult]:
+def run(config: Optional[Figure8Config] = None,
+        engine: Optional[ExperimentEngine] = None) -> Dict[str, ExperimentResult]:
     """Run all three face experiments."""
     config = config or Figure8Config()
+    engine = engine or ExperimentEngine()
     return {
-        "reconstruction": run_reconstruction(config),
-        "nn_classification": run_nn_classification(config),
-        "clustering": run_clustering(config),
+        "reconstruction": run_reconstruction(config, engine=engine),
+        "nn_classification": run_nn_classification(config, engine=engine),
+        "clustering": run_clustering(config, engine=engine),
     }
 
 

@@ -18,9 +18,9 @@ from repro.datasets.ratings import (
     make_ratings_dataset,
     user_category_interval_matrix,
 )
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     ExperimentResult,
-    evaluate_grid,
     isvd_grid,
     rank_order,
 )
@@ -47,9 +47,11 @@ def _scaled_dataset(name: str, config: Figure9Config):
     )
 
 
-def run_dataset(name: str, config: Optional[Figure9Config] = None) -> ExperimentResult:
+def run_dataset(name: str, config: Optional[Figure9Config] = None,
+                engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """One dataset's table (Figure 9(a), (b) or (c))."""
     config = config or Figure9Config()
+    engine = engine or ExperimentEngine()
     if name not in SOCIAL_MEDIA_PRESETS:
         raise ValueError(f"unknown dataset {name!r}; expected one of {sorted(SOCIAL_MEDIA_PRESETS)}")
     dataset = _scaled_dataset(name, config)
@@ -71,9 +73,12 @@ def run_dataset(name: str, config: Optional[Figure9Config] = None) -> Experiment
     per_rank_scores: List[Dict[str, float]] = []
     per_rank_orders: List[Dict[str, int]] = []
     for rank in ranks:
-        scores = evaluate_grid([matrix], specs, rank)
+        grid = engine.evaluate_grid([matrix], specs, rank,
+                                    experiment=f"fig9_{name}")
+        scores = grid.scores()
         per_rank_scores.append(scores)
         per_rank_orders.append(rank_order(scores))
+        result.add_records(grid.records)
 
     for spec in specs:
         row: List[object] = [spec.option, spec.label]
@@ -88,10 +93,13 @@ def run_dataset(name: str, config: Optional[Figure9Config] = None) -> Experiment
     return result
 
 
-def run(config: Optional[Figure9Config] = None) -> Dict[str, ExperimentResult]:
+def run(config: Optional[Figure9Config] = None,
+        engine: Optional[ExperimentEngine] = None) -> Dict[str, ExperimentResult]:
     """Run the experiment for every configured dataset."""
     config = config or Figure9Config()
-    return {name: run_dataset(name, config) for name in config.datasets}
+    engine = engine or ExperimentEngine()
+    return {name: run_dataset(name, config, engine=engine)
+            for name in config.datasets}
 
 
 def main() -> None:

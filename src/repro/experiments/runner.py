@@ -1,32 +1,42 @@
-"""Shared experiment plumbing: method grids, trial averaging, result containers."""
+"""Shared experiment plumbing: method grids, trial averaging, result containers.
+
+Method dispatch goes through the factorizer registry
+(:mod:`repro.core.registry`) and grid execution through the experiment engine
+(:mod:`repro.experiments.engine`); the helpers here keep the historical
+call shapes (``average_hmean``, ``evaluate_grid``) as thin wrappers so the
+figure modules and external callers stay source-compatible.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.lp_eig import lp_isvd
-from repro.core.accuracy import harmonic_mean_accuracy
-from repro.core.isvd import ISVDMethod, isvd
-from repro.core.result import DecompositionTarget, IntervalDecomposition
+from repro.core import registry
+from repro.core.result import IntervalDecomposition
+from repro.experiments.engine import ExperimentEngine, ExperimentRecord
 from repro.interval.array import IntervalMatrix
 
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """One decomposition method/target combination evaluated by an experiment."""
+    """One decomposition method/target combination evaluated by an experiment.
+
+    ``method`` is a key of the factorizer registry, so any registered
+    algorithm (ISVD variants, LP, NMF/PMF families, interval PCA) can appear
+    in an experiment grid.
+    """
 
     label: str
     method: str
     target: str
 
-    def decompose(self, matrix: IntervalMatrix, rank: int) -> IntervalDecomposition:
-        """Run the decomposition this spec describes."""
-        if self.method == "lp":
-            return lp_isvd(matrix, rank, target=self.target)
-        return isvd(matrix, rank, method=self.method, target=self.target)
+    def decompose(self, matrix: IntervalMatrix, rank: int,
+                  seed: Optional[int] = None) -> IntervalDecomposition:
+        """Run the decomposition this spec describes (via the registry)."""
+        return registry.get(self.method).fit(matrix, rank, target=self.target, seed=seed)
 
     @property
     def option(self) -> str:
@@ -64,12 +74,18 @@ DEFAULT_METHOD_GRID: Tuple[MethodSpec, ...] = (
 
 @dataclass
 class ExperimentResult:
-    """Rows produced by one experiment, plus the header used to print them."""
+    """Rows produced by one experiment, plus the header used to print them.
+
+    Engine-backed experiments also attach their per-cell
+    :class:`~repro.experiments.engine.ExperimentRecord` rows, which the CLI
+    exports to JSON/CSV.
+    """
 
     name: str
     headers: List[str]
     rows: List[List[object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    records: List[ExperimentRecord] = field(default_factory=list)
 
     def add_row(self, *cells: object) -> None:
         """Append one result row."""
@@ -78,6 +94,10 @@ class ExperimentResult:
     def add_note(self, note: str) -> None:
         """Attach a free-form note printed after the table."""
         self.notes.append(note)
+
+    def add_records(self, records: Sequence[ExperimentRecord]) -> None:
+        """Attach the engine records behind the rows."""
+        self.records.extend(records)
 
     def to_text(self, precision: int = 3) -> str:
         """Render the result as the table printed by ``main()``."""
@@ -97,31 +117,44 @@ class ExperimentResult:
         """Rows as dictionaries keyed by header."""
         return [dict(zip(self.headers, row)) for row in self.rows]
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready payload: headers, rows, notes and canonical records."""
+        return {
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+            "records": [record.to_dict() for record in self.records],
+        }
+
 
 def average_hmean(
     matrices: Sequence[IntervalMatrix],
     spec: MethodSpec,
     rank: int,
+    engine: Optional[ExperimentEngine] = None,
 ) -> float:
     """Average harmonic-mean reconstruction accuracy of a method over trials."""
-    scores = []
-    for matrix in matrices:
-        effective_rank = min(rank, min(matrix.shape))
-        decomposition = spec.decompose(matrix, effective_rank)
-        scores.append(harmonic_mean_accuracy(matrix, decomposition))
-    return float(np.mean(scores))
+    engine = engine or ExperimentEngine()
+    return engine.evaluate_grid(matrices, [spec], rank).scores()[spec.label]
 
 
 def evaluate_grid(
     matrices: Sequence[IntervalMatrix],
     specs: Sequence[MethodSpec],
     rank: int,
+    engine: Optional[ExperimentEngine] = None,
+    experiment: str = "",
 ) -> Dict[str, float]:
     """Average H-mean accuracy per method label over a set of trial matrices."""
-    return {spec.label: average_hmean(matrices, spec, rank) for spec in specs}
+    engine = engine or ExperimentEngine()
+    return engine.evaluate_grid(matrices, specs, rank, experiment=experiment).scores()
 
 
 def rank_order(scores: Dict[str, float]) -> Dict[str, int]:
-    """Rank labels by descending score (1 = best), as in Figures 7 and 9."""
-    ordered = sorted(scores.items(), key=lambda item: -item[1])
+    """Rank labels by descending score (1 = best), as in Figures 7 and 9.
+
+    Score ties are broken by label (ascending), so the ordering never depends
+    on dict insertion order.
+    """
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
     return {label: position + 1 for position, (label, _) in enumerate(ordered)}

@@ -24,11 +24,11 @@ from repro.datasets.synthetic import (
     rank_sweep,
     shape_sweep,
 )
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     DEFAULT_METHOD_GRID,
     ExperimentResult,
     MethodSpec,
-    evaluate_grid,
 )
 
 
@@ -48,66 +48,81 @@ def _sweep(
     describe: Callable[[SyntheticConfig], str],
     name: str,
     column_name: str,
+    engine: Optional[ExperimentEngine] = None,
 ) -> ExperimentResult:
+    engine = engine or ExperimentEngine()
     result = ExperimentResult(
         name=name,
         headers=[column_name, *(spec.label for spec in config.methods)],
     )
     for synthetic in configurations:
         matrices = list(generate_trials(synthetic, trials=config.trials, seed=config.seed))
-        scores = evaluate_grid(matrices, config.methods, synthetic.rank)
+        grid = engine.evaluate_grid(matrices, config.methods, synthetic.rank,
+                                    experiment=f"table2[{describe(synthetic)}]")
+        scores = grid.scores()
         result.add_row(describe(synthetic), *(scores[s.label] for s in config.methods))
+        result.add_records(grid.records)
     result.add_note(f"trials per row: {config.trials}; base config {config.base.describe()}")
     return result
 
 
-def run_interval_density(config: Optional[Table2Config] = None) -> ExperimentResult:
+def run_interval_density(config: Optional[Table2Config] = None,
+                         engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Table 2(a): varying interval densities."""
     config = config or Table2Config()
     return _sweep(
         config, density_sweep(config.base),
         lambda c: f"{c.interval_density:.0%}",
         "Table 2(a): varying interval densities (H-mean)", "int. density",
+        engine=engine,
     )
 
 
-def run_interval_intensity(config: Optional[Table2Config] = None) -> ExperimentResult:
+def run_interval_intensity(config: Optional[Table2Config] = None,
+                           engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Table 2(b): varying interval intensities."""
     config = config or Table2Config()
     return _sweep(
         config, intensity_sweep(config.base),
         lambda c: f"{c.interval_intensity:.0%}",
         "Table 2(b): varying interval intensities (H-mean)", "int. intensity",
+        engine=engine,
     )
 
 
-def run_matrix_density(config: Optional[Table2Config] = None) -> ExperimentResult:
+def run_matrix_density(config: Optional[Table2Config] = None,
+                       engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Table 2(c): varying matrix densities (fraction of zero cells)."""
     config = config or Table2Config()
     return _sweep(
         config, matrix_density_sweep(config.base),
         lambda c: f"{c.matrix_density:.0%}",
         "Table 2(c): varying matrix densities (H-mean)", "mat. density",
+        engine=engine,
     )
 
 
-def run_matrix_configuration(config: Optional[Table2Config] = None) -> ExperimentResult:
+def run_matrix_configuration(config: Optional[Table2Config] = None,
+                             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Table 2(d): varying matrix configurations (shapes)."""
     config = config or Table2Config()
     return _sweep(
         config, shape_sweep(config.base),
         lambda c: f"{c.shape[0]}-by-{c.shape[1]}",
         "Table 2(d): varying matrix configurations (H-mean)", "matrix conf.",
+        engine=engine,
     )
 
 
-def run_target_rank(config: Optional[Table2Config] = None) -> ExperimentResult:
+def run_target_rank(config: Optional[Table2Config] = None,
+                    engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Table 2(e): varying target ranks."""
     config = config or Table2Config()
     return _sweep(
         config, rank_sweep(config.base),
         lambda c: str(c.rank),
         "Table 2(e): varying target ranks (H-mean)", "rank",
+        engine=engine,
     )
 
 
@@ -121,13 +136,15 @@ _SUBTABLES: Dict[str, Callable[[Optional[Table2Config]], ExperimentResult]] = {
 
 
 def run(config: Optional[Table2Config] = None,
-        subtables: Sequence[str] = ("a", "b", "c", "d", "e")) -> Dict[str, ExperimentResult]:
+        subtables: Sequence[str] = ("a", "b", "c", "d", "e"),
+        engine: Optional[ExperimentEngine] = None) -> Dict[str, ExperimentResult]:
     """Run the requested Table 2 sub-tables."""
     config = config or Table2Config()
     unknown = set(subtables) - set(_SUBTABLES)
     if unknown:
         raise ValueError(f"unknown Table 2 sub-tables: {sorted(unknown)}")
-    return {key: _SUBTABLES[key](config) for key in subtables}
+    engine = engine or ExperimentEngine()
+    return {key: _SUBTABLES[key](config, engine=engine) for key in subtables}
 
 
 def main() -> None:

@@ -31,7 +31,10 @@ class IntervalMatrix:
         :class:`~repro.interval.scalar.IntervalError` otherwise.  Algorithms
         that intentionally carry *misordered* intermediate matrices (the paper
         notes SVD of min/max components may produce them) pass ``check=False``
-        and correct the ordering later via average replacement.
+        and correct the ordering later via average replacement.  Scalar
+        indexing normalizes misordered entries (swapping the endpoints) only on
+        such unchecked matrices; on a validated matrix it raises instead, so
+        invalid in-place mutations are surfaced rather than masked.
 
     Examples
     --------
@@ -42,7 +45,7 @@ class IntervalMatrix:
     array([[1.25, 2.  ]])
     """
 
-    __slots__ = ("lower", "upper")
+    __slots__ = ("lower", "upper", "_unchecked")
     __array_priority__ = 100  # make ndarray defer to our reflected operators
 
     def __init__(self, lower: ArrayLike, upper: ArrayLike, *, check: bool = True):
@@ -63,6 +66,7 @@ class IntervalMatrix:
                 )
         self.lower = lower
         self.upper = upper
+        self._unchecked = not check
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -110,6 +114,12 @@ class IntervalMatrix:
             return value
         return cls.from_scalar(value)
 
+    def _derive(self, lower: np.ndarray, upper: np.ndarray) -> "IntervalMatrix":
+        """Endpoint view/copy of this matrix, inheriting its validation state."""
+        result = IntervalMatrix(lower, upper, check=False)
+        result._unchecked = self._unchecked
+        return result
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
@@ -131,11 +141,11 @@ class IntervalMatrix:
     @property
     def T(self) -> "IntervalMatrix":
         """Transpose (endpointwise)."""
-        return IntervalMatrix(self.lower.T, self.upper.T, check=False)
+        return self._derive(self.lower.T, self.upper.T)
 
     def copy(self) -> "IntervalMatrix":
         """Deep copy of both endpoint arrays."""
-        return IntervalMatrix(self.lower.copy(), self.upper.copy(), check=False)
+        return self._derive(self.lower.copy(), self.upper.copy())
 
     def midpoint(self) -> np.ndarray:
         """Elementwise midpoints ``(lower + upper) / 2`` (the ``M_avg`` matrix)."""
@@ -165,14 +175,28 @@ class IntervalMatrix:
     # Indexing
     # ------------------------------------------------------------------ #
     def __getitem__(self, key) -> Union["IntervalMatrix", Interval]:
+        """Scalar keys return an :class:`Interval`; everything else a sub-matrix.
+
+        Misordered entries (``lower > upper``) are normalized by swapping the
+        endpoints **only** on matrices constructed with ``check=False`` — the
+        intermediate matrices whose misordering is expected and later corrected
+        by average replacement.  On a validated matrix a misordered entry can
+        only mean the endpoint arrays were mutated into an invalid state, so
+        scalar access raises instead of silently masking the bug.
+        """
         lower = self.lower[key]
         upper = self.upper[key]
         if np.isscalar(lower) or lower.ndim == 0:
             lo, hi = float(lower), float(upper)
             if lo > hi:
+                if not self._unchecked:
+                    raise IntervalError(
+                        f"entry {key} has lower={lo} > upper={hi} on a validated "
+                        "matrix; its endpoint arrays were mutated inconsistently"
+                    )
                 lo, hi = hi, lo
             return Interval(lo, hi)
-        return IntervalMatrix(lower, upper, check=False)
+        return self._derive(lower, upper)
 
     def __setitem__(self, key, value) -> None:
         if isinstance(value, Interval):
@@ -188,11 +212,11 @@ class IntervalMatrix:
 
     def row(self, index: int) -> "IntervalMatrix":
         """Row ``index`` as a 1-D interval vector."""
-        return IntervalMatrix(self.lower[index, :], self.upper[index, :], check=False)
+        return self._derive(self.lower[index, :], self.upper[index, :])
 
     def column(self, index: int) -> "IntervalMatrix":
         """Column ``index`` as a 1-D interval vector."""
-        return IntervalMatrix(self.lower[:, index], self.upper[:, index], check=False)
+        return self._derive(self.lower[:, index], self.upper[:, index])
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic

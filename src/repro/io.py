@@ -15,6 +15,7 @@ be computed once and reused by downstream tooling (the CLI uses these helpers).
 from __future__ import annotations
 
 import csv
+import hashlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -120,6 +121,24 @@ def _load_scalar_csv(path: PathLike) -> np.ndarray:
     if not rows:
         raise IntervalError(f"{path} contains no numeric rows")
     return np.asarray(rows, dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprinting
+# --------------------------------------------------------------------------- #
+def interval_fingerprint(matrix: IntervalMatrix) -> str:
+    """Stable content hash of an interval matrix (shape + endpoint bytes).
+
+    Used as the data component of on-disk cache keys: two matrices share a
+    fingerprint exactly when their shapes and endpoint values are bitwise
+    identical.
+    """
+    matrix = IntervalMatrix.coerce(matrix)
+    digest = hashlib.sha256()
+    digest.update(repr(matrix.shape).encode())
+    digest.update(np.ascontiguousarray(matrix.lower, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(matrix.upper, dtype=float).tobytes())
+    return digest.hexdigest()
 
 
 # --------------------------------------------------------------------------- #

@@ -24,8 +24,10 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_decompose_defaults(self):
+        # Target defaults to None so each method's preferred target applies
+        # (isvd4 -> "b") without breaking methods that only support "a" or "c".
         args = build_parser().parse_args(["decompose", "--csv", "x.csv"])
-        assert args.method == "isvd4" and args.target == "b"
+        assert args.method == "isvd4" and args.target is None
 
     def test_rejects_unknown_method(self):
         with pytest.raises(SystemExit):
@@ -114,3 +116,115 @@ class TestExperimentCommand:
         assert exit_code == 0
         payload = json.loads(json_path.read_text())
         assert "fig3" in payload and payload["fig3"]["rows"]
+
+
+class TestListMethodsCommand:
+    def test_lists_every_registered_key(self, capsys):
+        from repro.core import registry
+
+        exit_code = main(["list-methods"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for key in registry.available():
+            assert key in captured
+        assert "targets" in captured and "cost" in captured
+
+
+class TestDecomposeRegistryMethods:
+    def test_decompose_with_interval_pca(self, tmp_path, capsys):
+        out = tmp_path / "m.csv"
+        main(["generate", str(out), "--rows", "8", "--cols", "10", "--seed", "5"])
+        exit_code = main(["decompose", "--csv", str(out), "--rank", "3",
+                          "--method", "interval-pca"])
+        assert exit_code == 0
+        assert "IntervalPCA" in capsys.readouterr().out
+
+    def test_decompose_with_nmf(self, tmp_path, capsys):
+        # Uniform synthetic values are non-negative, so NMF applies directly.
+        out = tmp_path / "m.csv"
+        main(["generate", str(out), "--rows", "8", "--cols", "10", "--seed", "6"])
+        exit_code = main(["decompose", "--csv", str(out), "--rank", "3",
+                          "--method", "nmf", "--seed", "1"])
+        assert exit_code == 0
+        assert "NMF" in capsys.readouterr().out
+
+    def test_unsupported_target_exits_cleanly(self, tmp_path, capsys):
+        out = tmp_path / "m.csv"
+        main(["generate", str(out), "--rows", "6", "--cols", "8", "--seed", "7"])
+        with pytest.raises(SystemExit, match="targets"):
+            main(["decompose", "--csv", str(out), "--rank", "2",
+                  "--method", "isvd0", "--target", "b"])
+
+
+@pytest.fixture
+def small_fig6(monkeypatch):
+    """Shrink the Figure 6 config so engine-backed CLI runs stay fast."""
+    from repro.datasets.synthetic import SyntheticConfig
+    from repro.experiments import fig6_overview
+
+    small = fig6_overview.Figure6Config(
+        synthetic=SyntheticConfig(shape=(12, 20), rank=5), trials=2,
+        include_lp=False, targets=("b", "c"),
+    )
+    monkeypatch.setattr(fig6_overview, "Figure6Config", lambda: small)
+    return small
+
+
+class TestExperimentEngineOptions:
+    def test_jobs_produce_byte_identical_json(self, tmp_path, capsys, monkeypatch):
+        # fig7 is a pure-accuracy experiment: its whole payload (rows, orders,
+        # records) is deterministic, so the exported files must match to the byte.
+        from repro.experiments import fig7_anonymized
+
+        small = fig7_anonymized.Figure7Config(
+            shape=(12, 20), trials=2, rank_fractions=(1.0, 0.5),
+            profiles=("medium",),
+        )
+        monkeypatch.setattr(fig7_anonymized, "Figure7Config", lambda: small)
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["experiment", "fig7", "--jobs", "1", "--json", str(serial_path)]) == 0
+        assert main(["experiment", "fig7", "--jobs", "3", "--json", str(parallel_path)]) == 0
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_fig6_records_identical_across_jobs(self, tmp_path, small_fig6, capsys):
+        # fig6 also reports wall-clock timing rows (measurements, inherently
+        # run-dependent), so byte-identity is asserted on the canonical records.
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["experiment", "fig6", "--jobs", "1", "--json", str(serial_path)]) == 0
+        assert main(["experiment", "fig6", "--jobs", "3", "--json", str(parallel_path)]) == 0
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["accuracy"] == parallel["accuracy"]
+        assert serial["timings"]["records"] == parallel["timings"]["records"]
+
+    def test_format_json_emits_records(self, small_fig6, capsys):
+        assert main(["experiment", "fig6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"accuracy", "timings"}
+        records = payload["accuracy"]["records"]
+        assert records and {"method", "trial", "value"} <= set(records[0])
+
+    def test_format_csv_emits_rows(self, small_fig6, capsys):
+        assert main(["experiment", "fig6", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("experiment,accuracy")
+        assert "ISVD4-b" in out
+
+    def test_cache_dir_populates_and_reuses(self, tmp_path, small_fig6, capsys):
+        cache_dir = tmp_path / "cache"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["experiment", "fig6", "--cache-dir", str(cache_dir),
+                     "--json", str(first)]) == 0
+        cached_files = list(cache_dir.glob("*.npz"))
+        assert cached_files
+        assert main(["experiment", "fig6", "--cache-dir", str(cache_dir),
+                     "--json", str(second)]) == 0
+        first_payload = json.loads(first.read_text())
+        second_payload = json.loads(second.read_text())
+        # Accuracy results are cache-independent; timing rows are wall-clock
+        # measurements (the timings grid intentionally bypasses the cache).
+        assert first_payload["accuracy"] == second_payload["accuracy"]
+        assert sum(row[-1] for row in second_payload["timings"]["rows"]) > 0.0

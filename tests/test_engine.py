@@ -1,0 +1,207 @@
+"""Tests for the parallel, cached experiment engine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.experiments import engine as engine_module
+from repro.experiments.engine import (
+    DecompositionCache,
+    ExperimentEngine,
+    ExperimentRecord,
+    GridSpec,
+    derive_seed,
+    records_to_csv,
+    records_to_json,
+)
+from repro.experiments.runner import MethodSpec, evaluate_grid
+from repro.interval.random import random_interval_matrix
+
+SPECS = [
+    GridSpec("ISVD0", "isvd0", "c"),
+    GridSpec("ISVD2-b", "isvd2", "b"),
+    GridSpec("ISVD4-a", "isvd4", "a"),
+]
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    return [random_interval_matrix((14, 18), interval_intensity=0.4, rng=s)
+            for s in range(3)]
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(0, "fig6", "isvd4", "b", 5, 0) == \
+            derive_seed(0, "fig6", "isvd4", "b", 5, 0)
+
+    def test_distinct_across_cells(self):
+        seeds = {derive_seed(0, "fig6", "isvd4", "b", 5, trial) for trial in range(50)}
+        assert len(seeds) == 50
+
+    def test_depends_on_base_seed(self):
+        assert derive_seed(0, "x") != derive_seed(1, "x")
+
+    def test_fits_in_32_bits(self):
+        assert 0 <= derive_seed(123, "anything") < 2**32
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_records_identical(self, matrices):
+        serial = ExperimentEngine(jobs=1).evaluate_grid(matrices, SPECS, 6, experiment="t")
+        parallel = ExperimentEngine(jobs=4).evaluate_grid(matrices, SPECS, 6, experiment="t")
+        assert records_to_json(serial.records) == records_to_json(parallel.records)
+
+    def test_map_preserves_order(self):
+        engine = ExperimentEngine(jobs=4)
+        assert engine.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
+
+    def test_scores_keyed_in_spec_order(self, matrices):
+        grid = ExperimentEngine(jobs=2).evaluate_grid(matrices, SPECS, 6)
+        assert list(grid.scores()) == [spec.label for spec in SPECS]
+
+    def test_runner_evaluate_grid_delegates(self, matrices):
+        scores = evaluate_grid(matrices, [MethodSpec("ISVD4-b", "isvd4", "b")], 6)
+        direct = ExperimentEngine().evaluate_grid(
+            matrices, [MethodSpec("ISVD4-b", "isvd4", "b")], 6).scores()
+        assert scores == direct
+
+    def test_rank_clipped_per_matrix(self, matrices):
+        grid = ExperimentEngine().evaluate_grid(matrices, SPECS, 100)
+        assert all(record.rank == 14 for record in grid.records)
+
+
+class TestCache:
+    def test_warm_run_hits_every_cell(self, matrices, tmp_path):
+        engine = ExperimentEngine(jobs=2, cache_dir=tmp_path)
+        cold = engine.evaluate_grid(matrices, SPECS, 6, experiment="t")
+        warm = engine.evaluate_grid(matrices, SPECS, 6, experiment="t")
+        assert cold.cache_hits() == 0
+        assert warm.cache_hits() == len(warm.records) == 9
+        assert records_to_json(warm.records) == records_to_json(cold.records)
+
+    def test_cache_hits_skip_recomputation(self, matrices, tmp_path, monkeypatch):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.evaluate_grid(matrices, SPECS, 6, experiment="t")
+
+        def explode(*args, **kwargs):  # any fit call on a warm cache is a bug
+            raise AssertionError("decomposition recomputed despite warm cache")
+
+        # All SPECS methods route through the `isvd` dispatcher the registry
+        # adapters close over; breaking it proves warm cells never recompute.
+        monkeypatch.setattr(registry, "isvd", explode)
+        warm = engine.evaluate_grid(matrices, SPECS, 6, experiment="t")
+        assert warm.cache_hits() == len(warm.records)
+
+    def test_distinct_cells_get_distinct_keys(self, tmp_path):
+        cache = DecompositionCache(tmp_path)
+        base = cache.key("fp", "isvd4", "b", 5)
+        assert cache.key("fp", "isvd4", "b", 6) != base
+        assert cache.key("fp", "isvd4", "c", 5) != base
+        assert cache.key("fp", "isvd3", "b", 5) != base
+        assert cache.key("other", "isvd4", "b", 5) != base
+        assert cache.key("fp", "isvd4", "b", 5, seed=1) != base
+
+    def test_load_miss_returns_none(self, tmp_path):
+        assert DecompositionCache(tmp_path).load("deadbeef") is None
+
+    def test_large_array_options_do_not_collide(self, tmp_path):
+        # repr() truncates big arrays to identical '...' strings; the key
+        # must hash the actual bytes instead.
+        cache = DecompositionCache(tmp_path)
+        first = np.zeros(2000)
+        second = np.zeros(2000)
+        second[1000] = 1.0
+        assert repr(first) == repr(second)  # the trap the key must avoid
+        assert cache.key("fp", "pmf", "c", 5, seed=1, options={"mask": first}) != \
+            cache.key("fp", "pmf", "c", 5, seed=1, options={"mask": second})
+
+    def test_fig8_grid_uses_the_cache(self, tmp_path):
+        from repro.experiments import fig8_faces
+
+        config = fig8_faces.Figure8Config(
+            n_subjects=4, images_per_subject=3, resolution=8,
+            reconstruction_ranks=(3,), classification_ranks=(3,),
+            nmf_iterations=5, seed=1,
+        )
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        fig8_faces.run_reconstruction(config, methods=("ISVD4-b", "NMF"), engine=engine)
+        assert len(engine.cache) == 2
+        # Classification at the same rank reuses the cached decompositions.
+        fig8_faces.run_nn_classification(config, methods=("ISVD4-b", "NMF"), engine=engine)
+        assert len(engine.cache) == 2
+
+    def test_unseeded_stochastic_fits_are_never_cached(self, tmp_path):
+        # Without a seed every call is a fresh random draw; caching it would
+        # freeze the first draw forever.
+        matrix = random_interval_matrix((8, 9), interval_intensity=0.3, rng=1)
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        first, hit_first = engine.decompose(matrix.clip_nonnegative(), "inmf", 3)
+        second, hit_second = engine.decompose(matrix.clip_nonnegative(), "inmf", 3)
+        assert not hit_first and not hit_second
+        assert not np.allclose(first.u, second.u)
+        assert len(list(tmp_path.glob("*.npz"))) == 0
+
+    def test_cached_timing_grid_stays_measured(self, tmp_path):
+        # Figure 6(b) bypasses the cache: cached cells carry no timings, which
+        # would silently zero the whole execution-time table.
+        from repro.datasets.synthetic import SyntheticConfig
+        from repro.experiments import fig6_overview
+
+        config = fig6_overview.Figure6Config(
+            synthetic=SyntheticConfig(shape=(12, 20), rank=5), trials=1,
+            include_lp=False, targets=("b",),
+        )
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        fig6_overview.run_accuracy(config, engine=engine)  # populates the cache
+        result = fig6_overview.run_timings(config, engine=engine)
+        assert sum(result.column("total")) > 0.0
+
+    def test_stochastic_methods_keyed_by_seed(self, tmp_path):
+        matrix = random_interval_matrix((8, 9), interval_intensity=0.3, rng=1)
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        first, hit_first = engine.decompose(matrix.clip_nonnegative(), "inmf", 3, seed=1)
+        second, hit_second = engine.decompose(matrix.clip_nonnegative(), "inmf", 3, seed=2)
+        assert not hit_first and not hit_second
+        assert not np.allclose(first.u, second.u)
+        again, hit_again = engine.decompose(matrix.clip_nonnegative(), "inmf", 3, seed=1)
+        assert hit_again and np.allclose(again.u, first.u)
+
+
+class TestRecordsExport:
+    def _records(self):
+        return [
+            ExperimentRecord(experiment="t", trial=0, method="isvd4", label="ISVD4-b",
+                             target="b", rank=5, seed=42, metric="h_mean", value=0.9,
+                             duration=1.5, cache_hit=True, timings={"alignment": 0.1}),
+            ExperimentRecord(experiment="t", trial=1, method="isvd0", label="ISVD0",
+                             target="c", rank=5, seed=43, metric="h_mean", value=0.8),
+        ]
+
+    def test_json_is_deterministic_and_runtime_free(self, tmp_path):
+        records = self._records()
+        text = records_to_json(records, tmp_path / "records.json")
+        payload = json.loads((tmp_path / "records.json").read_text())
+        assert payload == json.loads(text)
+        assert "duration" not in payload[0] and "cache_hit" not in payload[0]
+        assert payload[0]["value"] == 0.9
+
+    def test_json_with_runtime(self):
+        payload = json.loads(records_to_json(self._records(), include_runtime=True))
+        assert payload[0]["cache_hit"] is True
+        assert payload[0]["timings"] == {"alignment": 0.1}
+
+    def test_csv_round_layout(self, tmp_path):
+        text = records_to_csv(self._records(), tmp_path / "records.csv")
+        lines = text.strip().splitlines()
+        assert lines[0].split(",")[:3] == ["experiment", "trial", "method"]
+        assert len(lines) == 3
+        assert (tmp_path / "records.csv").read_text() == text
+
+    def test_mean_timings_aggregation(self):
+        grid = engine_module.GridResult(records=self._records())
+        timings = grid.mean_timings(("alignment",))
+        assert timings["ISVD4-b"]["alignment"] == pytest.approx(0.1)
+        assert timings["ISVD0"]["alignment"] == 0.0

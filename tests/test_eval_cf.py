@@ -68,3 +68,28 @@ class TestReconstructionRatingRmse:
         truth = np.full((2, 2), 4.0)
         mask = np.ones((2, 2), dtype=bool)
         assert reconstruction_rating_rmse(reconstruction, truth, mask) == pytest.approx(1.0)
+
+
+class TestMethodKeyPrediction:
+    def test_accepts_any_registered_method_key(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        mask = matrix.midpoint() != 0.0
+        for method in ("isvd4", "isvd0", "interval-pca"):
+            score = reconstruction_rating_rmse(matrix, matrix.midpoint(), mask,
+                                               method=method, rank=4)
+            assert 0.0 <= score < 5.0
+
+    def test_method_key_requires_rank(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        mask = matrix.midpoint() != 0.0
+        with pytest.raises(ValueError, match="rank"):
+            reconstruction_rating_rmse(matrix, matrix.midpoint(), mask, method="isvd4")
+
+    def test_method_key_matches_explicit_decomposition(self, tiny_ratings_dataset):
+        matrix = user_category_interval_matrix(tiny_ratings_dataset)
+        mask = matrix.midpoint() != 0.0
+        explicit = reconstruction_rating_rmse(
+            isvd(matrix, rank=4, method="isvd4", target="b"), matrix.midpoint(), mask)
+        via_key = reconstruction_rating_rmse(matrix, matrix.midpoint(), mask,
+                                             method="isvd4", rank=4, target="b")
+        assert via_key == pytest.approx(explicit)

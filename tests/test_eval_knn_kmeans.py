@@ -110,3 +110,30 @@ class TestIntervalKMeans:
     def test_kmeans_nmi_default_cluster_count(self, rng):
         features, labels = _two_blob_features(rng, separation=8.0)
         assert kmeans_nmi(features, labels, seed=0) > 0.9
+
+
+class TestMethodKeyFeatures:
+    def test_kmeans_nmi_accepts_method_key(self):
+        from repro.interval.random import random_interval_matrix
+
+        matrix = random_interval_matrix((12, 10), interval_intensity=0.3, rng=5)
+        labels = np.repeat([0, 1, 2], 4)
+        score = kmeans_nmi(matrix, labels, seed=0, method="isvd2", rank=3, target="b")
+        assert 0.0 <= score <= 1.0
+
+    def test_kmeans_nmi_method_key_requires_rank(self):
+        from repro.interval.random import random_interval_matrix
+
+        matrix = random_interval_matrix((8, 6), interval_intensity=0.3, rng=5)
+        with pytest.raises(ValueError, match="rank"):
+            kmeans_nmi(matrix, np.zeros(8), method="isvd2")
+
+    def test_latent_features_for_every_registered_key(self):
+        from repro.core import registry
+        from repro.eval.features import latent_features
+        from repro.interval.random import random_interval_matrix
+
+        matrix = random_interval_matrix((10, 8), interval_intensity=0.3, rng=6)
+        for key in registry.available():
+            features = latent_features(matrix, key, rank=3, seed=2)
+            assert features.shape[0] == matrix.shape[0]

@@ -114,3 +114,13 @@ class TestEvaluation:
     def test_rank_order(self):
         order = rank_order({"a": 0.9, "b": 0.5, "c": 0.7})
         assert order == {"a": 1, "c": 2, "b": 3}
+
+    def test_rank_order_breaks_ties_by_label(self):
+        # Tied scores must not depend on dict insertion order.
+        forward = rank_order({"b": 0.5, "a": 0.5, "c": 0.9})
+        backward = rank_order({"a": 0.5, "c": 0.9, "b": 0.5})
+        assert forward == backward == {"c": 1, "a": 2, "b": 3}
+
+    def test_rank_order_all_tied_is_alphabetical(self):
+        order = rank_order({"z": 1.0, "m": 1.0, "a": 1.0})
+        assert order == {"a": 1, "m": 2, "z": 3}

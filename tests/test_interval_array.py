@@ -293,3 +293,33 @@ class TestPropertyBased:
         midpoint_product = m.midpoint() * m.midpoint()
         assert np.all(product.lower - 1e-6 <= midpoint_product)
         assert np.all(midpoint_product <= product.upper + 1e-6)
+
+
+class TestScalarAccessOrdering:
+    """Scalar indexing: endpoint swapping is reserved for unchecked matrices."""
+
+    def test_unchecked_matrix_normalizes_misordered_entry(self):
+        m = IntervalMatrix([[2.0]], [[1.0]], check=False)
+        assert m[0, 0] == Interval(1.0, 2.0)
+
+    def test_checked_matrix_raises_after_invalid_mutation(self):
+        m = IntervalMatrix([[1.0]], [[2.0]])
+        m.lower[0, 0] = 5.0  # direct endpoint mutation breaks the invariant
+        with pytest.raises(IntervalError, match="mutated"):
+            m[0, 0]
+
+    def test_checked_matrix_valid_entries_unaffected(self):
+        m = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.5]])
+        assert m[0, 1] == Interval(2.0, 2.5)
+
+    def test_flag_propagates_through_views(self):
+        unchecked = IntervalMatrix([[2.0, 0.0]], [[1.0, 1.0]], check=False)
+        assert unchecked.T[0, 0] == Interval(1.0, 2.0)
+        assert unchecked.copy()[0, 0] == Interval(1.0, 2.0)
+        assert unchecked.row(0)[0] == Interval(1.0, 2.0)
+        checked = IntervalMatrix([[1.0]], [[2.0]])
+        checked.lower[0, 0] = 5.0
+        # The transpose of a validated matrix stays validated, so the
+        # mutation-detection of scalar access applies through it too.
+        with pytest.raises(IntervalError):
+            checked.T[0, 0]

@@ -114,3 +114,64 @@ class TestDecompositionRoundTrip:
         np.savez(path, lower=np.zeros((2, 2)), upper=np.ones((2, 2)))
         with pytest.raises(IntervalError):
             repro_io.load_decomposition_npz(path)
+
+
+class TestEdgeCaseRoundTrips:
+    """1-row and empty matrices must survive the cache's NPZ round-trips."""
+
+    def test_one_row_matrix_npz_roundtrip(self, tmp_path):
+        matrix = IntervalMatrix([[1.0, 2.0, 3.0]], [[1.5, 2.0, 3.5]])
+        path = tmp_path / "one_row.npz"
+        repro_io.save_interval_npz(matrix, path)
+        loaded = repro_io.load_interval_npz(path)
+        assert loaded.shape == (1, 3)
+        assert loaded.allclose(matrix)
+
+    def test_one_row_matrix_csv_roundtrip(self, tmp_path):
+        matrix = IntervalMatrix([[1.0, 2.0]], [[1.5, 2.5]])
+        path = tmp_path / "one_row.csv"
+        repro_io.save_interval_csv(matrix, path)
+        loaded, names = repro_io.load_interval_csv(path)
+        assert loaded.shape == (1, 2) and names == ["c0", "c1"]
+        assert loaded.allclose(matrix)
+
+    def test_empty_matrix_npz_roundtrip(self, tmp_path):
+        matrix = IntervalMatrix(np.empty((0, 4)), np.empty((0, 4)))
+        path = tmp_path / "empty.npz"
+        repro_io.save_interval_npz(matrix, path)
+        loaded = repro_io.load_interval_npz(path)
+        assert loaded.shape == (0, 4)
+
+    def test_empty_matrix_csv_roundtrip(self, tmp_path):
+        matrix = IntervalMatrix(np.empty((0, 2)), np.empty((0, 2)))
+        path = tmp_path / "empty.csv"
+        repro_io.save_interval_csv(matrix, path)
+        loaded, names = repro_io.load_interval_csv(path)
+        assert loaded.shape == (0, 2) and names == ["c0", "c1"]
+
+    def test_one_row_decomposition_roundtrip(self, tmp_path):
+        matrix = IntervalMatrix([[1.0, 2.0, 3.0]], [[1.5, 2.5, 3.5]])
+        decomposition = isvd(matrix, 1, method="isvd1", target="b")
+        path = tmp_path / "one_row_decomposition.npz"
+        repro_io.save_decomposition_npz(decomposition, path)
+        loaded = repro_io.load_decomposition_npz(path)
+        assert loaded.shape == (1, 3) and loaded.rank == 1
+        np.testing.assert_allclose(loaded.u_scalar(), decomposition.u_scalar())
+
+
+class TestFingerprint:
+    def test_identical_content_shares_fingerprint(self, matrix):
+        assert repro_io.interval_fingerprint(matrix) == \
+            repro_io.interval_fingerprint(matrix.copy())
+
+    def test_value_and_shape_changes_alter_fingerprint(self, matrix):
+        base = repro_io.interval_fingerprint(matrix)
+        perturbed = matrix.copy()
+        perturbed.upper[0, 0] += 1e-9
+        assert repro_io.interval_fingerprint(perturbed) != base
+        assert repro_io.interval_fingerprint(matrix.T) != base
+
+    def test_scalar_input_coerced(self):
+        values = np.arange(6.0).reshape(2, 3)
+        assert repro_io.interval_fingerprint(values) == \
+            repro_io.interval_fingerprint(IntervalMatrix.from_scalar(values))

@@ -1,0 +1,119 @@
+"""Tests for the unified factorizer registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.core.isvd import isvd
+from repro.core.result import IntervalDecomposition
+from repro.interval.random import random_interval_matrix
+
+EXPECTED_KEYS = {
+    "isvd0", "isvd1", "isvd2", "isvd3", "isvd4",
+    "nmf", "inmf", "pmf", "ipmf", "aipmf",
+    "lp", "interval-pca",
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_interval_matrix((12, 16), interval_intensity=0.4, rng=0)
+
+
+class TestLookup:
+    def test_every_algorithm_family_is_registered(self):
+        assert EXPECTED_KEYS.issubset(set(registry.available()))
+
+    def test_get_returns_info_with_matching_key(self):
+        for key in EXPECTED_KEYS:
+            assert registry.get(key).key == key
+
+    def test_get_is_case_insensitive(self):
+        assert registry.get("ISVD4").key == "isvd4"
+
+    def test_unknown_key_raises_with_available_list(self):
+        with pytest.raises(registry.RegistryError, match="isvd4"):
+            registry.get("no-such-method")
+
+    def test_infos_sorted_by_key(self):
+        keys = [info.key for info in registry.infos()]
+        assert keys == sorted(keys)
+
+
+class TestCapabilities:
+    def test_isvd0_is_scalar_only_target_c(self):
+        info = registry.get("isvd0")
+        assert info.scalar_only and info.targets == ("c",)
+        assert not info.stochastic
+
+    def test_isvd_family_supports_all_targets(self):
+        for key in ("isvd1", "isvd2", "isvd3", "isvd4"):
+            info = registry.get(key)
+            assert info.supports_target("a")
+            assert info.supports_target("b")
+            assert info.supports_target("c")
+
+    def test_nmf_family_requires_nonnegative(self):
+        assert registry.get("nmf").requires_nonnegative
+        assert registry.get("inmf").requires_nonnegative
+        assert not registry.get("isvd4").requires_nonnegative
+
+    def test_iterative_models_are_stochastic(self):
+        for key in ("nmf", "inmf", "pmf", "ipmf", "aipmf"):
+            assert registry.get(key).stochastic
+
+    def test_cost_classes(self):
+        assert registry.get("isvd4").cost == "closed-form"
+        assert registry.get("aipmf").cost == "iterative"
+        assert registry.get("lp").cost == "expensive"
+
+
+class TestFit:
+    def test_unsupported_target_raises(self, matrix):
+        with pytest.raises(registry.RegistryError, match="targets"):
+            registry.get("isvd0").fit(matrix, 3, target="b")
+        with pytest.raises(registry.RegistryError, match="targets"):
+            registry.get("inmf").fit(matrix.clip_nonnegative(), 3, target="c")
+
+    def test_every_key_fits_on_its_default_target(self, matrix):
+        for key in EXPECTED_KEYS:
+            info = registry.get(key)
+            data = matrix.clip_nonnegative() if info.requires_nonnegative else matrix
+            decomposition = info.fit(data, 4, seed=7)
+            assert isinstance(decomposition, IntervalDecomposition)
+            assert decomposition.shape == matrix.shape
+            assert decomposition.target.value == info.default_target
+
+    def test_registry_matches_direct_isvd_call(self, matrix):
+        via_registry = registry.get("isvd4").fit(matrix, 5, target="b")
+        direct = isvd(matrix, 5, method="isvd4", target="b")
+        assert np.allclose(via_registry.u, direct.u)
+        assert via_registry.sigma.allclose(direct.sigma)
+        assert np.allclose(via_registry.v, direct.v)
+
+    def test_stochastic_fit_is_seed_deterministic(self, matrix):
+        data = matrix.clip_nonnegative()
+        first = registry.get("inmf").fit(data, 3, seed=11)
+        second = registry.get("inmf").fit(data, 3, seed=11)
+        other = registry.get("inmf").fit(data, 3, seed=12)
+        assert np.allclose(first.u, second.u)
+        assert not np.allclose(first.u, other.u)
+
+    def test_decompose_convenience(self, matrix):
+        decomposition = registry.decompose(matrix, "isvd1", 3, target="a")
+        assert decomposition.method == "ISVD1"
+
+    def test_default_target_must_be_supported(self):
+        with pytest.raises(registry.RegistryError):
+            registry.register(registry.FactorizerInfo(
+                key="broken", display_name="X", targets=("a",), default_target="b",
+                cost="closed-form", summary="invalid", _fit=lambda *a, **k: None,
+            ))
+
+    def test_projection_features_for_any_key(self, matrix):
+        # Every decomposition, scalar or interval, exposes U x Sigma features.
+        for key in ("isvd0", "inmf", "interval-pca"):
+            info = registry.get(key)
+            data = matrix.clip_nonnegative() if info.requires_nonnegative else matrix
+            features = info.fit(data, 3, seed=1).projection()
+            assert features.shape[0] == matrix.shape[0]
