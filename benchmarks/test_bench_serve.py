@@ -1,0 +1,131 @@
+"""Benchmark E-serve: batched query throughput of the serving subsystem.
+
+Serves a collaborative-filtering model (ISVD4 on a per-rating interval
+matrix, the Figure 10 workload) through the :class:`~repro.serve.query.QueryEngine`
+and measures queries/second for the same set of single-row top-k queries
+
+* **row-at-a-time** — one engine call per query row (what a naive server
+  does per request), versus
+* **batched** — all rows stacked into one call (what the micro-batcher
+  turns concurrent requests into).
+
+The batched path must win by at least 2x; the engine's batch-size-invariant
+kernels guarantee the answers are identical, which is asserted, not assumed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.datasets.ratings import make_ratings_dataset, rating_interval_matrix
+from repro.interval.array import IntervalMatrix
+from repro.serve.batching import MicroBatcher
+from repro.serve.query import QueryEngine
+
+N_USERS, N_ITEMS, RANK, TOP_K = 200, 400, 8, 10
+N_QUERIES = 256
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = make_ratings_dataset(preset=None, n_users=N_USERS, n_items=N_ITEMS,
+                                   n_categories=12, density=0.25, seed=17)
+    matrix = rating_interval_matrix(dataset, alpha=0.5)
+    decomposition = registry.get("isvd4").fit(matrix, RANK, target="b")
+    return QueryEngine(decomposition)
+
+
+@pytest.fixture(scope="module")
+def query_rows():
+    """Unseen interval user rows (new users folding in at query time)."""
+    rng = np.random.default_rng(99)
+    midpoints = rng.uniform(1.0, 5.0, size=(N_QUERIES, N_ITEMS))
+    radius = rng.uniform(0.0, 0.5, size=midpoints.shape)
+    return IntervalMatrix(midpoints - radius, midpoints + radius)
+
+
+def test_bench_serve_batched_topk_vs_row_at_a_time(benchmark, engine, query_rows):
+    """One stacked top-k call beats per-row calls by >= 2x throughput."""
+    single_rows = [query_rows.row(i) for i in range(N_QUERIES)]
+
+    # Best-of-3 on both sides: the assertion below is a throughput *floor*
+    # enforced in CI, so one scheduler blip in a single timing pass must not
+    # fail the build.  Measured headroom is ~5x against the 2x floor.
+    unbatched_seconds = float("inf")
+    unbatched = None
+    for _ in range(3):
+        start = time.perf_counter()
+        attempt = [engine.top_k_items(row, TOP_K) for row in single_rows]
+        elapsed = time.perf_counter() - start
+        if elapsed < unbatched_seconds:
+            unbatched_seconds, unbatched = elapsed, attempt
+
+    def batched_run():
+        return engine.top_k_items(query_rows, TOP_K)
+
+    batched = benchmark.pedantic(batched_run, rounds=3, iterations=1)
+    batched_seconds = benchmark.stats.stats.min
+
+    benchmark.extra_info["queries"] = N_QUERIES
+    benchmark.extra_info["unbatched_qps"] = round(N_QUERIES / unbatched_seconds, 1)
+    benchmark.extra_info["batched_qps"] = round(N_QUERIES / batched_seconds, 1)
+    benchmark.extra_info["speedup"] = round(unbatched_seconds / batched_seconds, 2)
+
+    # The batching knob must never change the science: identical answers.
+    for i, result in enumerate(unbatched):
+        np.testing.assert_array_equal(result.indices[0], batched.indices[i])
+        np.testing.assert_array_equal(result.scores[0], batched.scores[i])
+
+    assert batched_seconds * 2 <= unbatched_seconds, (
+        f"batched top-k is only {unbatched_seconds / batched_seconds:.2f}x faster"
+    )
+
+
+def test_bench_serve_microbatcher_throughput(benchmark, engine, query_rows):
+    """Micro-batched concurrent submissions match direct calls exactly."""
+    import threading
+
+    direct = engine.top_k_items(query_rows, TOP_K)
+
+    def run_batch(requests):
+        stacked = IntervalMatrix(
+            np.vstack([rows.lower for rows in requests]),
+            np.vstack([rows.upper for rows in requests]),
+            check=False,
+        )
+        result = engine.top_k_items(stacked, TOP_K)
+        return [(result.indices[i], result.scores[i]) for i in range(len(requests))]
+
+    def concurrent_run():
+        batcher = MicroBatcher(run_batch, max_batch=32, max_delay=0.002)
+        results = [None] * N_QUERIES
+        n_workers = 8
+        per_worker = N_QUERIES // n_workers
+
+        def worker(offset):
+            for i in range(offset, offset + per_worker):
+                results[i] = batcher.submit(query_rows.row(i))
+
+        threads = [threading.Thread(target=worker, args=(w * per_worker,))
+                   for w in range(n_workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return batcher, results
+
+    batcher, results = benchmark.pedantic(concurrent_run, rounds=1, iterations=1)
+    seconds = benchmark.stats.stats.mean
+
+    benchmark.extra_info["queries"] = N_QUERIES
+    benchmark.extra_info["qps"] = round(N_QUERIES / seconds, 1)
+    benchmark.extra_info["blas_calls"] = batcher.batches_run
+    benchmark.extra_info["mean_batch"] = round(N_QUERIES / batcher.batches_run, 1)
+
+    # Stacking concurrent queries saved BLAS calls without changing answers.
+    assert batcher.batches_run < N_QUERIES
+    for i, (indices, scores) in enumerate(results):
+        np.testing.assert_array_equal(indices, direct.indices[i])
+        np.testing.assert_array_equal(scores, direct.scores[i])

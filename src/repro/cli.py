@@ -1,10 +1,11 @@
 """Command-line interface for the library.
 
-Four sub-commands:
+Sub-commands:
 
 * ``decompose`` — decompose an interval matrix stored on disk (wide CSV, two
   endpoint CSVs, or NPZ) with any registered factorization method, report the
-  reconstruction accuracy, and optionally save the factors to an NPZ archive.
+  reconstruction accuracy, and optionally save the factors to an NPZ archive
+  (``--output``) or publish them to a model store (``--save-model``).
 * ``experiment`` — run one of the paper's experiments, optionally in parallel
   (``--jobs``) and with an on-disk decomposition cache (``--cache-dir``), and
   print its tables (``--format table``) or emit the structured records as JSON
@@ -13,6 +14,11 @@ Four sub-commands:
   disk, for trying the tool without any data at hand.
 * ``list-methods`` — show every key of the factorizer registry with its
   capability metadata.
+* ``models`` — list the models published to a store directory.
+* ``serve`` — run the HTTP JSON service (``/models``, ``/recommend``,
+  ``/neighbors``, ``/healthz``) over a model store.
+* ``query`` — send one recommendation / nearest-neighbour query to a running
+  ``repro serve`` instance and print the JSON response.
 
 Run ``python -m repro --help`` for usage.
 """
@@ -30,6 +36,10 @@ from repro.core.accuracy import harmonic_mean_accuracy
 from repro.experiments.engine import ExperimentEngine
 from repro.interval.array import IntervalMatrix
 from repro import io as repro_io
+
+#: Default model-store directory for ``decompose --save-model`` / ``models`` /
+#: ``serve`` (override with ``--store``).
+DEFAULT_STORE = "repro-models"
 
 #: Experiment registry: name -> callable(engine) returning {label: ExperimentResult}.
 def _experiment_registry() -> Dict[str, Callable[[ExperimentEngine], Dict[str, object]]]:
@@ -69,6 +79,14 @@ def _load_matrix(args: argparse.Namespace) -> IntervalMatrix:
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.save_model:
+        # Fail on a bad name *before* spending minutes on the factorization.
+        from repro.serve.store import ModelStore, ModelStoreError
+
+        try:
+            ModelStore._check_name(args.save_model)
+        except ModelStoreError as error:
+            raise SystemExit(str(error))
     matrix = _load_matrix(args)
     rank = args.rank or min(matrix.shape)
     rank = min(rank, min(matrix.shape))
@@ -86,6 +104,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     if args.output:
         repro_io.save_decomposition_npz(decomposition, args.output)
         print(f"factors written to {args.output}")
+    if args.save_model:
+        from repro.serve.store import ModelStore
+
+        record = ModelStore(args.store).save(args.save_model, decomposition,
+                                             matrix=matrix)
+        print(f"model {record.name!r} published to {args.store} "
+              f"({record.method}, target {record.target}, rank {record.rank})")
     return 0
 
 
@@ -169,6 +194,84 @@ def _cmd_list_methods(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.serve.store import ModelStore
+
+    records = ModelStore(args.store).list()
+    if not records:
+        print(f"no models published in {args.store}")
+        return 0
+    rows = [
+        [
+            record.name,
+            record.method,
+            record.target,
+            record.rank,
+            "x".join(str(n) for n in record.shape),
+            (record.fingerprint or "")[:12],
+        ]
+        for record in records
+    ]
+    print(format_table(
+        ["name", "method", "target", "rank", "shape", "fingerprint"],
+        rows, title=f"Models in {args.store}",
+    ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.http import create_server
+
+    server = create_server(
+        args.store, host=args.host, port=args.port,
+        max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    models = server.app.store.list()
+    print(f"serving {len(models)} model(s) from {args.store} "
+          f"on http://{host}:{port}")
+    for record in models:
+        print(f"  {record.name}: {record.method} target {record.target} "
+              f"rank {record.rank}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    matrix = _load_matrix(args)
+    payload = {
+        "model": args.model,
+        "k": args.k,
+        "lower": matrix.lower.tolist(),
+        "upper": matrix.upper.tolist(),
+    }
+    url = args.url.rstrip("/") + "/" + args.op
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            body = json.load(response)
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", errors="replace")
+        raise SystemExit(f"server returned {error.code}: {detail}")
+    except urllib.error.URLError as error:
+        raise SystemExit(f"cannot reach {url}: {error.reason}")
+    print(json.dumps(body, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -190,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--seed", type=int, default=None,
                            help="seed for stochastic methods")
     decompose.add_argument("--output", help="write the factors to this NPZ path")
+    decompose.add_argument("--save-model", metavar="NAME",
+                           help="publish the factors to the model store under this name")
+    decompose.add_argument("--store", default=DEFAULT_STORE,
+                           help=f"model store directory (default: {DEFAULT_STORE})")
     decompose.set_defaults(handler=_cmd_decompose)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
@@ -219,6 +326,40 @@ def build_parser() -> argparse.ArgumentParser:
     list_methods = subparsers.add_parser(
         "list-methods", help="list every registered factorization method")
     list_methods.set_defaults(handler=_cmd_list_methods)
+
+    models = subparsers.add_parser("models", help="list the published models of a store")
+    models.add_argument("--store", default=DEFAULT_STORE,
+                        help=f"model store directory (default: {DEFAULT_STORE})")
+    models.set_defaults(handler=_cmd_models)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a model store over HTTP (/recommend, /neighbors, ...)")
+    serve.add_argument("--store", default=DEFAULT_STORE,
+                       help=f"model store directory (default: {DEFAULT_STORE})")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="most single-row queries stacked into one BLAS call")
+    serve.add_argument("--batch-delay", type=float, default=2.0,
+                       help="micro-batch window in milliseconds")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = subparsers.add_parser(
+        "query", help="query a running `repro serve` instance")
+    query.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the server")
+    query.add_argument("--model", required=True, help="published model name")
+    query.add_argument("--op", choices=["recommend", "neighbors"], default="recommend",
+                       help="query type")
+    query.add_argument("-k", type=int, default=10, help="results per query row")
+    query.add_argument("--csv", help="wide CSV with <col>_lo / <col>_hi column pairs")
+    query.add_argument("--npz", help="NPZ archive with 'lower' and 'upper' arrays")
+    query.add_argument("--lower", help="CSV of lower bounds (with --upper)")
+    query.add_argument("--upper", help="CSV of upper bounds (with --lower)")
+    query.set_defaults(handler=_cmd_query)
     return parser
 
 

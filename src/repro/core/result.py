@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -148,6 +148,34 @@ class IntervalDecomposition:
     def sigma_scalar(self) -> np.ndarray:
         """Scalar view of ``Sigma`` (midpoints when interval-valued)."""
         return self.sigma.midpoint() if _is_interval(self.sigma) else np.asarray(self.sigma)
+
+    @staticmethod
+    def _endpoints(matrix: FactorMatrix) -> Tuple[np.ndarray, np.ndarray]:
+        if _is_interval(matrix):
+            return matrix.lower, matrix.upper
+        scalar = np.asarray(matrix, dtype=float)
+        return scalar, scalar
+
+    def u_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` endpoint arrays of ``U`` (equal when scalar)."""
+        return self._endpoints(self.u)
+
+    def sigma_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` endpoint arrays of ``Sigma`` (equal when scalar)."""
+        return self._endpoints(self.sigma)
+
+    def v_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` endpoint arrays of ``V`` (equal when scalar)."""
+        return self._endpoints(self.v)
+
+    def item_map(self) -> np.ndarray:
+        """Scalar latent-to-row map ``Sigma V^T`` (``rank x m``).
+
+        This is the linear map that turns a latent row ``u`` into its
+        (midpoint) reconstruction ``u Sigma V^T``; the serving layer scores
+        every query through it and the fold-in projector inverts it.
+        """
+        return self.sigma_scalar() @ self.v_scalar().T
 
     def singular_values(self) -> IntervalMatrix:
         """Diagonal of the core as a 1-D interval vector (degenerate if scalar)."""

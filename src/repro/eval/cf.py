@@ -21,19 +21,37 @@ from repro.eval.metrics import rmse_score
 from repro.interval.array import IntervalMatrix
 
 
+def _clip_predictions(predictions: np.ndarray,
+                      clip_range: Optional[tuple]) -> np.ndarray:
+    """Clip predictions to a validated rating range; ``None`` disables clipping.
+
+    Star-rating domains clip to their scale (the default ``(1, 5)``), while
+    unbounded domains — interval features served by the query engine, centred
+    ratings — pass ``clip_range=None`` and score raw predictions.
+    """
+    if clip_range is None:
+        return predictions
+    low, high = clip_range
+    if low > high:
+        raise ValueError(
+            f"invalid clip_range: lower bound {low} exceeds upper bound {high}"
+        )
+    return np.clip(predictions, low, high)
+
+
 def rating_prediction_rmse(
     model,
     true_ratings: np.ndarray,
     test_mask: np.ndarray,
-    clip_range: tuple = (1.0, 5.0),
+    clip_range: Optional[tuple] = (1.0, 5.0),
 ) -> float:
     """RMSE of a fitted PMF-style model on held-out ratings.
 
     The model must expose ``predict()`` returning a full user x item matrix;
     predictions are clipped to the rating scale before scoring, as is standard
-    for star-rating predictors.
+    for star-rating predictors (``clip_range=None`` scores unclipped).
     """
-    predictions = np.clip(model.predict(), clip_range[0], clip_range[1])
+    predictions = _clip_predictions(model.predict(), clip_range)
     true_ratings = np.asarray(true_ratings, dtype=float)
     test_mask = np.asarray(test_mask, dtype=bool)
     if not test_mask.any():
@@ -45,7 +63,7 @@ def reconstruction_rating_rmse(
     decomposition_or_matrix: Union[IntervalDecomposition, IntervalMatrix],
     true_ratings: np.ndarray,
     test_mask: np.ndarray,
-    clip_range: tuple = (1.0, 5.0),
+    clip_range: Optional[tuple] = (1.0, 5.0),
     method: Optional[str] = None,
     rank: Optional[int] = None,
     target: Optional[str] = None,
@@ -58,7 +76,8 @@ def reconstruction_rating_rmse(
     reconstructed interval is the predicted rating.  When ``method`` (a
     factorizer-registry key) is given, the first argument is instead the raw
     interval rating matrix, which is decomposed at ``rank`` with that method
-    and reconstructed before scoring.
+    and reconstructed before scoring.  ``clip_range=None`` disables the
+    star-scale clipping (for non-rating domains).
     """
     if method is not None:
         from repro.core import registry
@@ -73,6 +92,6 @@ def reconstruction_rating_rmse(
         reconstruction = reconstruct(decomposition_or_matrix)
     else:
         reconstruction = IntervalMatrix.coerce(decomposition_or_matrix)
-    predictions = np.clip(reconstruction.midpoint(), clip_range[0], clip_range[1])
+    predictions = _clip_predictions(reconstruction.midpoint(), clip_range)
     return rmse_score(np.asarray(true_ratings, dtype=float), predictions,
                       mask=np.asarray(test_mask, dtype=bool))

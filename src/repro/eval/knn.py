@@ -35,15 +35,24 @@ def _as_endpoint_features(features: Features) -> np.ndarray:
     return np.hstack([features, features])
 
 
-def pairwise_interval_distances(queries: Features, references: Features) -> np.ndarray:
-    """Matrix of interval Euclidean distances between query and reference rows."""
+def pairwise_interval_distances(queries: Features, references: Features,
+                                matmul=None) -> np.ndarray:
+    """Matrix of interval Euclidean distances between query and reference rows.
+
+    ``matmul`` overrides the kernel of the cross-term product (default
+    ``numpy.matmul``); the serving layer passes a batch-size-invariant kernel
+    so a query row's distances do not depend on how many rows it was stacked
+    with.  The squared-norm terms are per-row reductions and invariant as is.
+    """
+    if matmul is None:
+        matmul = np.matmul
     query_points = _as_endpoint_features(queries)
     reference_points = _as_endpoint_features(references)
     if query_points.shape[1] != reference_points.shape[1]:
         raise ValueError("query and reference features must have the same width")
     squared = (
         (query_points**2).sum(axis=1, keepdims=True)
-        - 2.0 * query_points @ reference_points.T
+        - 2.0 * matmul(query_points, reference_points.T)
         + (reference_points**2).sum(axis=1)
     )
     return np.sqrt(np.clip(squared, 0.0, None))

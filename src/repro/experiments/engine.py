@@ -26,7 +26,6 @@ import hashlib
 import io as _stdio
 import json
 import os
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -193,12 +192,8 @@ class DecompositionCache:
 
     def store(self, key: str, decomposition: IntervalDecomposition) -> None:
         """Persist a decomposition under a key (atomic within the cache dir)."""
-        path = self._path(key)
-        tmp = path.with_name(
-            f".{key}.{os.getpid()}.{threading.get_ident()}.tmp.npz"
-        )
-        repro_io.save_decomposition_npz(decomposition, tmp)
-        os.replace(tmp, path)
+        with repro_io.atomic_write(self._path(key)) as tmp:
+            repro_io.save_decomposition_npz(decomposition, tmp)
 
     def __len__(self) -> int:
         # Dot-prefixed names are in-flight temp files, not cache entries.

@@ -31,7 +31,7 @@ PSEUDO_INVERSE_CUTOFF = 0.1
 DEFAULT_CONDITION_THRESHOLD = 1e8
 
 
-def interval_matmul(a: MatrixLike, b: MatrixLike) -> IntervalMatrix:
+def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None) -> IntervalMatrix:
     """Interval-valued matrix product ``a @ b`` (supplementary Algorithm 1).
 
     Both operands may be interval matrices or plain scalar ndarrays.  The
@@ -39,6 +39,10 @@ def interval_matmul(a: MatrixLike, b: MatrixLike) -> IntervalMatrix:
     achievable when each entry varies independently, computed — exactly as in
     the paper's pseudo-code — as the elementwise min/max over the four
     endpoint-matrix products.
+
+    ``matmul`` overrides the scalar product kernel (default ``numpy.matmul``);
+    the serving layer passes a batch-size-invariant kernel so micro-batched
+    queries reproduce unbatched results bit for bit.
 
     Notes
     -----
@@ -49,15 +53,17 @@ def interval_matmul(a: MatrixLike, b: MatrixLike) -> IntervalMatrix:
     """
     a = IntervalMatrix.coerce(a)
     b = IntervalMatrix.coerce(b)
+    if matmul is None:
+        matmul = np.matmul
     if a.shape[-1] != b.shape[0]:
         raise IntervalError(
             f"incompatible shapes for interval matmul: {a.shape} @ {b.shape}"
         )
     products = (
-        a.lower @ b.lower,
-        a.lower @ b.upper,
-        a.upper @ b.lower,
-        a.upper @ b.upper,
+        matmul(a.lower, b.lower),
+        matmul(a.lower, b.upper),
+        matmul(a.upper, b.lower),
+        matmul(a.upper, b.upper),
     )
     stacked = np.stack(products)
     return IntervalMatrix(stacked.min(axis=0), stacked.max(axis=0), check=False)

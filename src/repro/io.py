@@ -14,10 +14,13 @@ be computed once and reused by downstream tooling (the CLI uses these helpers).
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import hashlib
+import os
+import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -121,6 +124,33 @@ def _load_scalar_csv(path: PathLike) -> np.ndarray:
     if not rows:
         raise IntervalError(f"{path} contains no numeric rows")
     return np.asarray(rows, dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# Atomic writes
+# --------------------------------------------------------------------------- #
+@contextlib.contextmanager
+def atomic_write(path: PathLike) -> Iterator[Path]:
+    """Yield a temp path that is atomically renamed onto ``path`` on success.
+
+    The temp file lives in the destination directory (same filesystem, so
+    ``os.replace`` is atomic) and keeps the destination's suffix (so writers
+    like ``numpy.savez`` that key on the extension behave identically).  A
+    concurrent reader therefore only ever sees the old file or the complete
+    new one, never a truncated write; on error the temp file is removed and
+    the destination is left untouched.  Used by the decomposition cache and
+    the model store, whose readers may race their writers.
+    """
+    path = Path(path)
+    tmp = path.with_name(
+        f".{path.stem}.{os.getpid()}.{threading.get_ident()}.tmp{path.suffix}"
+    )
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp.unlink()
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,35 @@
+"""Online serving of fitted interval decompositions.
+
+The subsystem has four layers, each usable on its own:
+
+* :class:`~repro.serve.store.ModelStore` — publishes fitted decompositions
+  (factors + metadata) to a directory, atomically;
+* :class:`~repro.serve.foldin.FoldInProjector` — maps unseen interval rows
+  into a stored model's latent space via least squares, so queries never
+  re-run a factorization;
+* :class:`~repro.serve.query.QueryEngine` — batched, vectorized top-k
+  recommendation and nearest-neighbour retrieval over one model, with
+  :class:`~repro.serve.batching.MicroBatcher` stacking concurrent
+  single-row queries into single BLAS calls;
+* :mod:`repro.serve.http` — a stdlib-only HTTP JSON service
+  (``/models``, ``/recommend``, ``/neighbors``, ``/healthz``) exposed by
+  the CLI as ``repro serve`` / ``repro query``.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.foldin import FoldInProjector
+from repro.serve.http import ServingApp, create_server
+from repro.serve.query import QueryEngine, TopKResult
+from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
+
+__all__ = [
+    "FoldInProjector",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelStore",
+    "ModelStoreError",
+    "QueryEngine",
+    "ServingApp",
+    "TopKResult",
+    "create_server",
+]

@@ -1,0 +1,132 @@
+"""Fold-in of unseen interval rows into a fitted model's latent space.
+
+Serving a decomposition means answering queries for rows the model was never
+fitted on (a new user's rating ranges, a new face's interval features) without
+re-running the factorization.  The classic LSI fold-in does this for scalar
+SVD: a new row ``x`` becomes ``u = x V Sigma^{-1}``, the least-squares
+solution of ``u (Sigma V^T) ~= x``.  :class:`FoldInProjector` generalizes the
+idea to every decomposition the registry can produce:
+
+* the **scalar path** projects through the Moore-Penrose pseudo-inverse of
+  the midpoint item map ``Sigma_mid V_mid^T`` — exact for the scalar-factor
+  methods and the natural choice wherever scoring happens on midpoints;
+* the **interval path** (for interval-factor targets) projects the lower and
+  upper endpoints separately through the pseudo-inverses built from the
+  lower/upper ``V``/``Sigma`` factors, then sorts the endpoints, yielding a
+  valid interval latent row.
+
+Because ``pinv`` restricted to the latent row span is an exact left inverse
+of the item map, folding in anything the model can itself produce (a served
+reconstruction row) recovers it to numerical tolerance — the property the
+test suite checks for every registered method and target.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.core.result import IntervalDecomposition
+from repro.interval.array import IntervalMatrix
+from repro.interval.linalg import interval_matmul
+
+Rows = Union[np.ndarray, IntervalMatrix]
+
+
+def batch_invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product whose per-row results do not depend on the batch size.
+
+    BLAS gemm chooses blocking (and therefore accumulation order) from the
+    output shape, so the same logical row can differ in the last ulp between
+    a ``1 x m`` call and a ``q x m`` call.  The serving layer promises that
+    micro-batching never changes an answer, so its hot path uses einsum's
+    fixed reduction order — each output row depends only on its own input
+    row.  Latent ranks are small, so the BLAS throughput given up is minor.
+    """
+    return np.einsum("ij,jk->ik", a, b)
+
+
+class FoldInProjector:
+    """Maps unseen interval rows into a decomposition's latent row space.
+
+    All pseudo-inverses are precomputed once at construction (``m x r`` each),
+    so folding a batch of rows is a single matrix product.
+    """
+
+    def __init__(self, decomposition: IntervalDecomposition):
+        self.decomposition = decomposition
+        self.rank = decomposition.rank
+        self.n_items = int(decomposition.v.shape[0])
+
+        #: Scalar item map ``Sigma_mid V_mid^T`` (r x m) and its pseudo-inverse.
+        self.item_map = decomposition.item_map()
+        self._pinv_mid = np.linalg.pinv(self.item_map)
+
+        sigma_lo, sigma_hi = decomposition.sigma_endpoints()
+        v_lo, v_hi = decomposition.v_endpoints()
+        if decomposition.is_interval_factors or decomposition.is_interval_core:
+            self._pinv_lower = np.linalg.pinv(sigma_lo @ v_lo.T)
+            self._pinv_upper = np.linalg.pinv(sigma_hi @ v_hi.T)
+        else:
+            self._pinv_lower = self._pinv_upper = self._pinv_mid
+
+    # ------------------------------------------------------------------ #
+    # Input normalization
+    # ------------------------------------------------------------------ #
+    def _coerce_rows(self, rows: Rows) -> IntervalMatrix:
+        rows = IntervalMatrix.coerce(rows)
+        if rows.ndim == 1:
+            rows = IntervalMatrix(rows.lower[np.newaxis, :], rows.upper[np.newaxis, :],
+                                  check=False)
+        if rows.ndim != 2 or rows.shape[1] != self.n_items:
+            raise ValueError(
+                f"expected query rows of width {self.n_items}, got shape {rows.shape}"
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Projections
+    # ------------------------------------------------------------------ #
+    def fold_in(self, rows: Rows) -> np.ndarray:
+        """Scalar latent coordinates (``q x r``) of the rows' midpoints.
+
+        ``u = x_mid pinv(Sigma_mid V_mid^T)`` — the least-squares latent row
+        whose reconstruction best approximates the query row.
+        """
+        return batch_invariant_matmul(self._coerce_rows(rows).midpoint(), self._pinv_mid)
+
+    def fold_in_interval(self, rows: Rows) -> IntervalMatrix:
+        """Interval latent coordinates (``q x r``) of the rows.
+
+        Lower and upper endpoints are projected separately through the
+        endpoint pseudo-inverses; the results are sorted elementwise so the
+        latent row is a valid interval even when a projector column flips the
+        ordering (pseudo-inverses may contain negative entries).
+        """
+        rows = self._coerce_rows(rows)
+        lower = batch_invariant_matmul(rows.lower, self._pinv_lower)
+        upper = batch_invariant_matmul(rows.upper, self._pinv_upper)
+        return IntervalMatrix(np.minimum(lower, upper), np.maximum(lower, upper))
+
+    def latent_features(self, rows: Rows) -> IntervalMatrix:
+        """Fold rows in and return ``u x Sigma`` features (``q x r``).
+
+        These live in the same space as the stored rows' features
+        (:meth:`~repro.core.result.IntervalDecomposition.projection`), so a
+        folded-in query row can be compared against the training rows with
+        the paper's interval distance (nearest-neighbour serving).
+        """
+        u = self.fold_in_interval(rows)
+        sigma = self.decomposition.sigma
+        if not isinstance(sigma, IntervalMatrix):
+            sigma = IntervalMatrix.from_scalar(np.asarray(sigma, dtype=float))
+        return interval_matmul(u, sigma, matmul=batch_invariant_matmul)
+
+    def reconstruct_rows(self, rows: Rows) -> np.ndarray:
+        """Served (midpoint) reconstruction of the query rows (``q x m``).
+
+        Fold-in followed by the item map: the model's best rank-``r`` account
+        of each query row, used directly as recommendation scores.
+        """
+        return batch_invariant_matmul(self.fold_in(rows), self.item_map)

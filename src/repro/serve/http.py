@@ -1,0 +1,353 @@
+"""Stdlib-only HTTP JSON service over a model store.
+
+Endpoints (all responses are JSON):
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", "models": <count>}``;
+* ``GET /models`` — metadata of every published model;
+* ``POST /recommend`` — body ``{"model": name, "rows": ... , "k": 5}``;
+  returns per-row top-k item indices and scores;
+* ``POST /neighbors`` — same body shape; returns per-row nearest stored-row
+  indices and interval distances.
+
+Query rows are given either as ``"rows": [[...]]`` (scalar values, treated
+as degenerate intervals), as ``{"lower": [[...]], "upper": [[...]]}``
+endpoint pairs, or as a single ``"row": [...]`` — single rows go through the
+:class:`~repro.serve.batching.MicroBatcher`, so concurrent clients share one
+BLAS call without changing any result.
+
+Built on ``http.server.ThreadingHTTPServer`` — no dependencies beyond the
+standard library, matching the rest of the package (numpy/scipy only).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.interval.array import IntervalMatrix
+from repro.interval.scalar import IntervalError
+from repro.serve.batching import MicroBatcher
+from repro.serve.query import QueryEngine, top_k
+from repro.serve.store import ModelStore, ModelStoreError
+
+#: Upper bound on accepted request bodies (a 1k-item interval row is ~50 kB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """Client error: malformed body, unknown model, bad row shape..."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def rows_from_payload(payload: Dict[str, object]) -> Tuple[IntervalMatrix, bool]:
+    """Parse the query rows of a request body.
+
+    Returns ``(rows, is_single)`` where ``is_single`` is True when the client
+    sent one row (``"row"`` or a 1-D ``"rows"``) — the micro-batchable case.
+    """
+    try:
+        if "row" in payload:
+            values = np.asarray(payload["row"], dtype=float)
+            if values.ndim != 1:
+                raise RequestError("'row' must be a flat list of numbers")
+            return _finite(IntervalMatrix.from_scalar(values[np.newaxis, :])), True
+        if "lower" in payload or "upper" in payload:
+            if "lower" not in payload or "upper" not in payload:
+                raise RequestError("provide both 'lower' and 'upper'")
+            lower = np.asarray(payload["lower"], dtype=float)
+            upper = np.asarray(payload["upper"], dtype=float)
+            single = lower.ndim == 1
+            if single:
+                lower, upper = lower[np.newaxis, :], upper[np.newaxis, :]
+            return _finite(IntervalMatrix(lower, upper)), single
+        if "rows" in payload:
+            values = np.asarray(payload["rows"], dtype=float)
+            single = values.ndim == 1
+            if single:
+                values = values[np.newaxis, :]
+            return _finite(IntervalMatrix.from_scalar(values)), single
+    except RequestError:
+        raise
+    except (TypeError, ValueError, IntervalError) as error:
+        raise RequestError(f"invalid query rows: {error}") from error
+    raise RequestError("provide query rows as 'row', 'rows', or 'lower'/'upper'")
+
+
+def _finite(rows: IntervalMatrix) -> IntervalMatrix:
+    """Reject non-finite query rows; inf endpoints would propagate NaN/inf
+    through the fold-in products into responses that are not valid JSON."""
+    if not (np.isfinite(rows.lower).all() and np.isfinite(rows.upper).all()):
+        raise RequestError("query rows must contain only finite numbers")
+    return rows
+
+
+class ServingApp:
+    """The service's state: a model store, cached engines, micro-batchers."""
+
+    def __init__(self, store: Union[ModelStore, str], max_batch: int = 64,
+                 batch_delay: float = 0.002):
+        self.store = store if isinstance(store, ModelStore) else ModelStore(store)
+        self.max_batch = max_batch
+        self.batch_delay = batch_delay
+        self._lock = threading.Lock()
+        self._engines: Dict[str, Tuple[object, QueryEngine]] = {}
+        self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
+
+    def engine(self, name: str) -> QueryEngine:
+        """Engine for a published model, reloaded when the model is republished.
+
+        The cached engine is validated against the store's current metadata on
+        every access (one small JSON read), so ``repro decompose --save-model``
+        over an existing name takes effect without restarting the server.
+        A model deleted mid-request surfaces as 404, not a dropped connection.
+        """
+        try:
+            record = self.store.record(name)
+        except ModelStoreError as error:
+            self._evict(name)  # deleted models must not pin factors in memory
+            raise RequestError(str(error), status=404) from error
+        version = (record.created_at, record.fingerprint, record.method, record.rank)
+        with self._lock:
+            cached = self._engines.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        try:
+            decomposition, _ = self.store.load(name)
+        except (ModelStoreError, OSError, IntervalError) as error:
+            # Covers readers racing a delete: metadata read above, factors
+            # unlinked before the NPZ load.
+            self._evict(name)
+            raise RequestError(f"model {name!r} is not loadable: {error}",
+                               status=404) from error
+        engine = QueryEngine(decomposition)
+        with self._lock:
+            self._engines[name] = (version, engine)
+        return engine
+
+    def _evict(self, name: str) -> None:
+        """Drop a model's cached engine and batchers (e.g. after deletion)."""
+        with self._lock:
+            self._engines.pop(name, None)
+            for key in [k for k in self._batchers if k[0] == name]:
+                del self._batchers[key]
+
+    def _batcher(self, name: str, operation: str) -> MicroBatcher:
+        def run_batch(requests):
+            # Resolve the engine per batch, so republished models take effect
+            # for batched queries too.
+            engine = self.engine(name)
+            rows_list, ks = zip(*requests)
+            stacked = IntervalMatrix(
+                np.vstack([rows.lower for rows in rows_list]),
+                np.vstack([rows.upper for rows in rows_list]),
+                check=False,
+            )
+            # One BLAS call scores the whole stack; selection then runs per
+            # request with its own k.  top_k is row-local, so every answer is
+            # exactly what a direct single-row call would return — including
+            # boundary tie-breaking, which slicing a shared top-max(k) list
+            # would get wrong.
+            if operation == "recommend":
+                scores = engine.reconstruct_rows(stacked)
+                largest = True
+            else:
+                scores = engine.neighbor_distances(stacked)
+                largest = False
+            return [
+                top_k(scores[i:i + 1], k, largest=largest)
+                for i, k in enumerate(ks)
+            ]
+
+        with self._lock:
+            key = (name, operation)
+            if key not in self._batchers:
+                self._batchers[key] = MicroBatcher(
+                    run_batch, max_batch=self.max_batch, max_delay=self.batch_delay)
+            return self._batchers[key]
+
+    # ------------------------------------------------------------------ #
+    # Operations (shared by the HTTP handler and in-process callers)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_k(payload: Dict[str, object]) -> int:
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise RequestError("'k' must be a positive integer")
+        return k
+
+    def _run_query(self, operation: str, payload: Dict[str, object]) -> Dict[str, object]:
+        name = payload.get("model")
+        if not isinstance(name, str):
+            raise RequestError("'model' (a published model name) is required")
+        k = self._parse_k(payload)
+        rows, single = rows_from_payload(payload)
+        engine = self.engine(name)
+        if rows.shape[1] != engine.n_items:
+            # Validated before submitting so a malformed request can never
+            # poison the other requests sharing its micro-batch.
+            raise RequestError(
+                f"query rows must have {engine.n_items} columns, got {rows.shape[1]}"
+            )
+        if single and self.max_batch > 1:
+            result = self._batcher(name, operation).submit((rows, k))
+        elif operation == "recommend":
+            result = engine.top_k_items(rows, k)
+        else:
+            result = engine.nearest_neighbors(rows, k)
+        value_key = "scores" if operation == "recommend" else "distances"
+        index_key = "items" if operation == "recommend" else "neighbors"
+        return {
+            "model": name,
+            "k": k,
+            index_key: result.indices.tolist(),
+            value_key: result.scores.tolist(),
+        }
+
+    def recommend(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Top-k item recommendation for the payload's query rows."""
+        return self._run_query("recommend", payload)
+
+    def neighbors(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Nearest stored rows for the payload's query rows."""
+        return self._run_query("neighbors", payload)
+
+    def models(self) -> Dict[str, object]:
+        """Metadata of every published model."""
+        return {"models": [record.to_dict() for record in self.store.list()]}
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness payload."""
+        return {"status": "ok", "models": len(self.store)}
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server tuned for bursts of concurrent queries.
+
+    The stdlib default listen backlog of 5 drops (resets) connections the
+    moment more clients connect than the accept loop has drained — exactly
+    the burst pattern micro-batching exists for — so it is raised here.
+    Handler threads are daemonic: a hung client cannot block shutdown.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the :class:`ServingApp` attached to the server."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServingApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):  # quiet by default
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+        try:
+            # allow_nan=False: bare NaN/Infinity tokens are not valid JSON and
+            # break standards-compliant clients.  Inputs are validated finite,
+            # so this only trips on pathological overflow inside the model.
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except ValueError:
+            status = 500
+            payload = {"error": "response contains non-finite values"}
+            body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            # The body size is unknowable, so it cannot be drained; the
+            # connection must close or the leftover bytes would be parsed as
+            # the next request.
+            self.close_connection = True
+            raise RequestError("invalid Content-Length")
+        if length <= 0:
+            raise RequestError("a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to drain oversized bodies
+            raise RequestError("request body too large", status=413)
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(self.app.healthz())
+            elif self.path == "/models":
+                self._send_json(self.app.models())
+            else:
+                self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+        except Exception as error:  # never drop the connection without a reply
+            self._send_json({"error": f"internal error: {error}"}, status=500)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        routes = {"/recommend": self.app.recommend, "/neighbors": self.app.neighbors}
+        handler = routes.get(self.path)
+        try:
+            # Read the body before routing, even for unknown paths: replying
+            # while unread body bytes sit on a keep-alive connection would
+            # corrupt the next request on it.
+            try:
+                payload = self._read_body()
+            except RequestError:
+                if handler is None:  # the unknown path is the better diagnosis
+                    raise RequestError(f"unknown path {self.path!r}", status=404)
+                raise
+            if handler is None:
+                raise RequestError(f"unknown path {self.path!r}", status=404)
+            self._send_json(handler(payload))
+        except RequestError as error:
+            self._send_json({"error": str(error)}, status=error.status)
+        except (ValueError, IntervalError) as error:
+            self._send_json({"error": str(error)}, status=400)
+        except Exception as error:  # never drop the connection without a reply
+            self._send_json({"error": f"internal error: {error}"}, status=500)
+
+
+def create_server(
+    store: Union[ModelStore, str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_batch: int = 64,
+    batch_delay: float = 0.002,
+    verbose: bool = False,
+) -> ServingHTTPServer:
+    """Build a ready-to-run threading HTTP server over a model store.
+
+    ``port=0`` binds an ephemeral port (``server.server_address`` has the
+    real one).  Call ``serve_forever()`` to run; each connection is handled
+    on its own thread, and concurrent single-row queries are micro-batched.
+    """
+    server = ServingHTTPServer((host, port), ServingHandler)
+    server.app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay)  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server

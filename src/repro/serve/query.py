@@ -1,0 +1,124 @@
+"""Vectorized query answering over one fitted decomposition.
+
+The two paper workloads the serving layer answers online:
+
+* **recommendation** — predicted ratings are the midpoint reconstruction of
+  the (folded-in) user row, the same semantics :mod:`repro.eval.cf` scores
+  offline; ``top_k_items`` returns the best-scoring item indices;
+* **retrieval** — ``nearest_neighbors`` compares a folded-in query row
+  against the training rows' latent features with the paper's interval
+  Euclidean distance (:func:`repro.eval.knn.pairwise_interval_distances`).
+
+Both entry points are batched: a ``q``-row query is one BLAS call plus one
+vectorized selection, never a Python loop over rows.  Ties are broken by
+ascending index (stable sort), so results are reproducible across batch
+sizes and thread counts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import IntervalDecomposition
+from repro.eval.knn import pairwise_interval_distances
+from repro.serve.foldin import FoldInProjector, Rows, batch_invariant_matmul
+
+
+class TopKResult(NamedTuple):
+    """Per-row top-k indices and their scores (rows in query order)."""
+
+    indices: np.ndarray
+    """``(q, k)`` integer array of item/row indices, best first."""
+
+    scores: np.ndarray
+    """``(q, k)`` float array aligned with ``indices``."""
+
+
+def top_k(scores: np.ndarray, k: int, largest: bool = True) -> TopKResult:
+    """Deterministic per-row top-k selection.
+
+    Selection uses ``argpartition`` (O(m) per row, the serving hot path never
+    sorts whole score rows), then orders the ``k`` selected entries by score
+    with ties broken by ascending index.  Both steps operate row-locally, so
+    results are independent of how many rows were stacked into the call.
+    Items tying *exactly* at the selection boundary enter the top-k per
+    numpy's partition order — deterministic, though not index-ordered.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    q, m = scores.shape
+    k = min(k, m)
+    keys = -scores if largest else scores
+    if k >= m:
+        order = np.argsort(keys, axis=1, kind="stable")
+    else:
+        candidates = np.argpartition(keys, k - 1, axis=1)[:, :k]
+        candidate_keys = np.take_along_axis(keys, candidates, axis=1)
+        inner = np.lexsort((candidates, candidate_keys), axis=1)
+        order = np.take_along_axis(candidates, inner, axis=1)
+    return TopKResult(order, np.take_along_axis(scores, order, axis=1))
+
+
+class QueryEngine:
+    """Answers batched top-k and nearest-neighbour queries for one model.
+
+    Everything reusable is precomputed at construction: the scalar item map
+    and its pseudo-inverses (via :class:`FoldInProjector`), the stored rows'
+    latent coordinates, and their interval features.  A query is then pure
+    matrix arithmetic on the precomputed state — no factorization runs.
+    """
+
+    def __init__(self, decomposition: IntervalDecomposition):
+        self.decomposition = decomposition
+        self.projector = FoldInProjector(decomposition)
+        self.item_map = self.projector.item_map
+        self.n_items = self.projector.n_items
+        #: Latent coordinates of the rows the model was fitted on (n x r).
+        self.user_latent = decomposition.u_scalar()
+        #: Interval features ``U x Sigma`` of the stored rows, for retrieval.
+        self.reference_features = decomposition.projection()
+
+    @property
+    def n_users(self) -> int:
+        """Number of rows the model was fitted on."""
+        return int(self.user_latent.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def reconstruct_rows(self, user_rows: Rows) -> np.ndarray:
+        """Predicted scores (``q x m``) for unseen user rows, via fold-in."""
+        return self.projector.reconstruct_rows(user_rows)
+
+    def scores_for_users(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Predicted scores of stored users (all of them by default)."""
+        latent = self.user_latent if indices is None else self.user_latent[np.asarray(indices)]
+        return batch_invariant_matmul(latent, self.item_map)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def top_k_items(self, user_rows: Rows, k: int) -> TopKResult:
+        """Best-``k`` item indices and scores for each query row (batched)."""
+        return top_k(self.reconstruct_rows(user_rows), k, largest=True)
+
+    def neighbor_distances(self, query_rows: Rows) -> np.ndarray:
+        """Interval distances (``q x n``) of query rows to every stored row.
+
+        The raw score matrix behind :meth:`nearest_neighbors`; the
+        micro-batcher uses it to share one distance computation across
+        requests with different ``k`` while selecting per request.
+        """
+        features = self.projector.latent_features(query_rows)
+        return pairwise_interval_distances(features, self.reference_features,
+                                           matmul=batch_invariant_matmul)
+
+    def top_k_for_users(self, indices: Sequence[int], k: int) -> TopKResult:
+        """Best-``k`` items for stored users, from their trained latent rows."""
+        return top_k(self.scores_for_users(indices), k, largest=True)
+
+    def nearest_neighbors(self, query_rows: Rows, k: int) -> TopKResult:
+        """``k`` nearest stored rows per query row, by interval distance."""
+        return top_k(self.neighbor_distances(query_rows), k, largest=False)

@@ -1,0 +1,196 @@
+"""Persistent store of fitted decompositions ("models") for online serving.
+
+A :class:`ModelStore` is a directory holding one published model per name:
+
+* ``<name>.npz`` — the factors, via the :mod:`repro.io` decomposition
+  round-trip (so anything the registry can fit can be served);
+* ``<name>.json`` — metadata: method key, decomposition target, rank, the
+  shape of the training matrix, its :func:`repro.io.interval_fingerprint`,
+  and the creation time.
+
+Both files are written through :func:`repro.io.atomic_write` (temp file +
+``os.replace``), and the metadata file is written *last*, so a concurrent
+reader — the HTTP service lists and loads models while publishers write —
+either sees a complete model or does not see it at all.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import io as repro_io
+from repro.core.result import IntervalDecomposition
+from repro.interval.array import IntervalMatrix
+
+PathLike = Union[str, Path]
+
+#: Model names are path-safe slugs: no separators, no leading dot.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ModelStoreError(ValueError):
+    """Raised for invalid model names and missing models."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Metadata of one published model, as stored in its JSON sidecar."""
+
+    name: str
+    method: str
+    target: str
+    rank: int
+    shape: tuple
+    fingerprint: Optional[str]
+    created_at: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the sidecar and the HTTP API)."""
+        payload = asdict(self)
+        payload["shape"] = list(self.shape)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModelRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            method=str(payload["method"]),
+            target=str(payload["target"]),
+            rank=int(payload["rank"]),
+            shape=tuple(int(n) for n in payload["shape"]),
+            fingerprint=(None if payload.get("fingerprint") is None
+                         else str(payload["fingerprint"])),
+            created_at=float(payload["created_at"]),
+        )
+
+
+class ModelStore:
+    """Directory-backed store that publishes, lists and loads named models.
+
+    The directory is created on the first :meth:`save` — read paths (list,
+    load, the HTTP service) never create it, so a mistyped ``--store`` path
+    shows up as an empty store rather than silently materializing on disk.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_PATTERN.match(name or ""):
+            raise ModelStoreError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_' "
+                "or '-', starting with a letter or digit"
+            )
+        return name
+
+    def _npz_path(self, name: str) -> Path:
+        return self.directory / f"{name}.npz"
+
+    def _meta_path(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    # ------------------------------------------------------------------ #
+    # Publish / load
+    # ------------------------------------------------------------------ #
+    def save(
+        self,
+        name: str,
+        decomposition: IntervalDecomposition,
+        matrix: Optional[IntervalMatrix] = None,
+        fingerprint: Optional[str] = None,
+    ) -> ModelRecord:
+        """Publish a fitted decomposition under ``name`` (replacing any old one).
+
+        ``matrix`` (or a precomputed ``fingerprint``) records which data the
+        model was fitted on, so consumers can detect stale models.  Factors are
+        written before metadata; each write is atomic.
+        """
+        self._check_name(name)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if fingerprint is None and matrix is not None:
+            fingerprint = repro_io.interval_fingerprint(matrix)
+        record = ModelRecord(
+            name=name,
+            method=decomposition.method,
+            target=decomposition.target.value,
+            rank=decomposition.rank,
+            shape=tuple(int(n) for n in decomposition.shape),
+            fingerprint=fingerprint,
+            created_at=time.time(),
+        )
+        with repro_io.atomic_write(self._npz_path(name)) as tmp:
+            repro_io.save_decomposition_npz(decomposition, tmp)
+        with repro_io.atomic_write(self._meta_path(name)) as tmp:
+            tmp.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
+        return record
+
+    def exists(self, name: str) -> bool:
+        """True when a complete model (factors + metadata) is published."""
+        self._check_name(name)
+        return self._meta_path(name).exists() and self._npz_path(name).exists()
+
+    def record(self, name: str) -> ModelRecord:
+        """Metadata of one published model."""
+        self._check_name(name)
+        try:
+            payload = json.loads(self._meta_path(name).read_text())
+            return ModelRecord.from_dict(payload)
+        except FileNotFoundError:
+            raise ModelStoreError(
+                f"no model named {name!r} in {self.directory}; "
+                f"available: {', '.join(r.name for r in self.list()) or '(none)'}"
+            ) from None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise ModelStoreError(
+                f"{self._meta_path(name)} is not a model metadata file: {error}"
+            ) from error
+
+    def load(self, name: str) -> Tuple[IntervalDecomposition, ModelRecord]:
+        """Load a model's ``(decomposition, record)`` pair."""
+        record = self.record(name)
+        decomposition = repro_io.load_decomposition_npz(self._npz_path(name))
+        return decomposition, record
+
+    def list(self) -> List[ModelRecord]:
+        """Records of every complete published model, sorted by name.
+
+        Tolerant by design: a missing store directory is an empty store, and
+        files that are not model sidecars (foreign JSON, in-flight temps,
+        metadata without factors) are skipped rather than failing the whole
+        listing.
+        """
+        if not self.directory.is_dir():
+            return []
+        records = []
+        for meta_path in sorted(self.directory.glob("*.json")):
+            if meta_path.name.startswith("."):
+                continue  # in-flight temp file
+            name = meta_path.stem
+            if not self._npz_path(name).exists():
+                continue
+            try:
+                records.append(ModelRecord.from_dict(json.loads(meta_path.read_text())))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # foreign .json living in the store directory
+        return records
+
+    def delete(self, name: str) -> None:
+        """Unpublish a model (metadata first, so readers never see a half-model)."""
+        self._check_name(name)
+        if not self.exists(name):
+            raise ModelStoreError(f"no model named {name!r} in {self.directory}")
+        self._meta_path(name).unlink()
+        self._npz_path(name).unlink()
+
+    def __len__(self) -> int:
+        return len(self.list())

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -154,6 +155,102 @@ class TestDecomposeRegistryMethods:
         with pytest.raises(SystemExit, match="targets"):
             main(["decompose", "--csv", str(out), "--rank", "2",
                   "--method", "isvd0", "--target", "b"])
+
+
+class TestServingCommands:
+    @pytest.fixture
+    def published(self, matrix_csv, tmp_path):
+        """A store with one model published through the CLI."""
+        path, matrix = matrix_csv
+        store = tmp_path / "store"
+        exit_code = main(["decompose", "--csv", str(path), "--rank", "3",
+                          "--method", "isvd4", "--save-model", "m1",
+                          "--store", str(store)])
+        assert exit_code == 0
+        return store, matrix
+
+    def test_save_model_publishes_to_store(self, published, capsys):
+        from repro.serve.store import ModelStore
+
+        store, matrix = published
+        records = ModelStore(store).list()
+        assert [r.name for r in records] == ["m1"]
+        assert records[0].method == "ISVD4" and records[0].rank == 3
+        assert records[0].fingerprint == repro_io.interval_fingerprint(matrix)
+
+    def test_save_model_invalid_name_exits(self, matrix_csv, tmp_path):
+        path, _ = matrix_csv
+        with pytest.raises(SystemExit, match="invalid model name"):
+            main(["decompose", "--csv", str(path), "--rank", "2",
+                  "--save-model", "../escape", "--store", str(tmp_path / "s")])
+
+    def test_models_lists_store(self, published, capsys):
+        store, _ = published
+        assert main(["models", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "m1" in out and "ISVD4" in out
+
+    def test_models_empty_store(self, tmp_path, capsys):
+        assert main(["models", "--store", str(tmp_path / "empty")]) == 0
+        assert "no models" in capsys.readouterr().out
+
+    def test_serve_starts_and_announces_models(self, published, capsys, monkeypatch):
+        from repro.serve.http import ServingHTTPServer
+
+        store, _ = published
+        monkeypatch.setattr(ServingHTTPServer, "serve_forever", lambda self: None)
+        assert main(["serve", "--store", str(store), "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving 1 model(s)" in out and "m1" in out
+
+    def test_query_round_trip_against_live_server(self, published, matrix_csv, capsys):
+        from repro.serve import QueryEngine, create_server
+        from repro.serve.store import ModelStore
+
+        store, matrix = published
+        path, _ = matrix_csv
+        server = create_server(str(store), port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            exit_code = main(["query", "--url", f"http://{host}:{port}",
+                              "--model", "m1", "--op", "recommend", "-k", "3",
+                              "--csv", str(path)])
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        decomposition, _ = ModelStore(store).load("m1")
+        expected = QueryEngine(decomposition).top_k_items(matrix, 3)
+        assert payload["items"] == expected.indices.tolist()
+        assert payload["scores"] == expected.scores.tolist()
+
+    def test_query_unreachable_server_exits(self, matrix_csv):
+        path, _ = matrix_csv
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["query", "--url", "http://127.0.0.1:9", "--model", "m1",
+                  "--csv", str(path)])
+
+    def test_query_unknown_model_reports_server_error(self, published, matrix_csv):
+        from repro.serve import create_server
+
+        store, _ = published
+        path, _ = matrix_csv
+        server = create_server(str(store), port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SystemExit, match="404"):
+                main(["query", "--url", f"http://{host}:{port}",
+                      "--model", "ghost", "--csv", str(path)])
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
 
 
 @pytest.fixture

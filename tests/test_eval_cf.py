@@ -48,6 +48,53 @@ class TestRatingPredictionRmse:
         assert 0.0 < score < 4.0
 
 
+class TestClipRange:
+    def _wild_model(self, dataset):
+        class WildModel:
+            def predict(self):
+                return np.full_like(dataset.ratings, 100.0)
+
+        return WildModel()
+
+    def test_none_disables_clipping(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+        _, test_mask = dataset.holdout_split(0.2, rng=0)
+        unclipped = rating_prediction_rmse(self._wild_model(dataset), dataset.ratings,
+                                           test_mask, clip_range=None)
+        clipped = rating_prediction_rmse(self._wild_model(dataset), dataset.ratings,
+                                         test_mask)
+        # Without clipping the constant-100 predictor keeps its full error.
+        assert unclipped > 90.0 > clipped
+
+    def test_none_disables_clipping_for_reconstruction(self):
+        # A non-star-rating domain: values far outside [1, 5].
+        reconstruction = IntervalMatrix.from_scalar(np.full((3, 3), 40.0))
+        truth = np.full((3, 3), 40.0)
+        mask = np.ones((3, 3), dtype=bool)
+        assert reconstruction_rating_rmse(reconstruction, truth, mask,
+                                          clip_range=None) == pytest.approx(0.0)
+        # The star-scale default would clip 40 -> 5 and report a large error.
+        assert reconstruction_rating_rmse(reconstruction, truth, mask) == pytest.approx(35.0)
+
+    def test_misordered_clip_range_raises(self, tiny_ratings_dataset):
+        dataset = tiny_ratings_dataset
+        _, test_mask = dataset.holdout_split(0.2, rng=0)
+        with pytest.raises(ValueError, match="clip_range"):
+            rating_prediction_rmse(self._wild_model(dataset), dataset.ratings,
+                                   test_mask, clip_range=(5.0, 1.0))
+        reconstruction = IntervalMatrix.from_scalar(dataset.ratings)
+        with pytest.raises(ValueError, match="clip_range"):
+            reconstruction_rating_rmse(reconstruction, dataset.ratings,
+                                       dataset.observed_mask, clip_range=(5.0, 1.0))
+
+    def test_degenerate_clip_range_allowed(self):
+        reconstruction = IntervalMatrix.from_scalar(np.full((2, 2), 9.0))
+        truth = np.full((2, 2), 3.0)
+        mask = np.ones((2, 2), dtype=bool)
+        assert reconstruction_rating_rmse(reconstruction, truth, mask,
+                                          clip_range=(3.0, 3.0)) == pytest.approx(0.0)
+
+
 class TestReconstructionRatingRmse:
     def test_accepts_decomposition(self, tiny_ratings_dataset):
         matrix = user_category_interval_matrix(tiny_ratings_dataset)

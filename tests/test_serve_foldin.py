@@ -1,0 +1,139 @@
+"""Property-based tests of the fold-in projector.
+
+The contract that lets the serving layer answer queries without ever
+re-running a factorization: fold-in is an exact left inverse of the model's
+scoring map on the latent row span.  Concretely, for **every** registry
+method and every decomposition target it supports, folding in what the model
+serves for a training row (its reconstruction) recovers that reconstruction
+to numerical tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import registry
+from repro.interval.array import IntervalMatrix
+from repro.interval.random import random_interval_matrix
+from repro.serve.foldin import FoldInProjector
+from repro.serve.query import QueryEngine
+
+COMMON_SETTINGS = dict(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Every (method key, target) combination the registry supports.
+ALL_METHOD_TARGETS = [
+    (info.key, target) for info in registry.infos() for target in info.targets
+]
+
+#: Keep the iterative models tiny — the property is about fold-in, not fit
+#: quality, so a handful of epochs is plenty.
+FAST_OPTIONS = {
+    "nmf": {"max_iter": 15},
+    "inmf": {"max_iter": 15},
+    "pmf": {"epochs": 5},
+    "ipmf": {"epochs": 5},
+    "aipmf": {"epochs": 5},
+}
+
+matrix_params = st.tuples(
+    st.integers(7, 12),          # rows
+    st.integers(5, 9),           # cols
+    st.floats(0.0, 0.8),         # interval intensity
+    st.integers(0, 10_000),      # seed
+)
+
+
+def _matrix_from(params):
+    rows, cols, intensity, seed = params
+    # Values in [0, 1]: non-negative, so the NMF family applies unmodified.
+    return random_interval_matrix((rows, cols), interval_density=1.0,
+                                  interval_intensity=intensity, rng=seed)
+
+
+def _fit(matrix, method, target, seed=7):
+    rank = min(3, min(matrix.shape))
+    options = FAST_OPTIONS.get(method, {})
+    return registry.get(method).fit(matrix, rank, target=target, seed=seed, **options)
+
+
+class TestFoldInRecoversServedReconstructions:
+    @pytest.mark.parametrize("method,target", ALL_METHOD_TARGETS)
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_left_inverse_on_latent_span(self, method, target, params):
+        """fold_in(model's served row) -> scores == that served row, always."""
+        matrix = _matrix_from(params)
+        decomposition = _fit(matrix, method, target)
+        engine = QueryEngine(decomposition)
+        served = engine.scores_for_users()          # rows in the latent span
+        recovered = engine.reconstruct_rows(served)  # fold-in + item map
+        scale = max(1.0, float(np.abs(served).max()))
+        np.testing.assert_allclose(recovered, served, atol=1e-6 * scale)
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_isvd0_training_rows_recover_reconstruction(self, params):
+        """For the plain SVD model the property extends to the raw data rows.
+
+        ISVD0's reconstruction *is* the orthogonal projection of the midpoint
+        matrix onto the top singular subspace, and least-squares fold-in
+        computes exactly that projection — so folding in the original rows
+        reproduces the reconstruction, not just its span.
+        """
+        matrix = _matrix_from(params)
+        decomposition = _fit(matrix, "isvd0", "c")
+        engine = QueryEngine(decomposition)
+        recovered = engine.reconstruct_rows(matrix)
+        np.testing.assert_allclose(recovered, engine.scores_for_users(), atol=1e-8)
+
+
+class TestIntervalFoldIn:
+    @pytest.mark.parametrize("method,target", [
+        ("isvd4", "a"), ("isvd4", "b"), ("inmf", "a"), ("interval-pca", "a"),
+    ])
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_interval_projection_is_valid_and_consistent(self, method, target, params):
+        matrix = _matrix_from(params)
+        decomposition = _fit(matrix, method, target)
+        projector = FoldInProjector(decomposition)
+
+        latent = projector.fold_in_interval(matrix)
+        assert latent.shape == (matrix.shape[0], decomposition.rank)
+        assert latent.is_valid()
+
+        features = projector.latent_features(matrix)
+        assert features.shape == latent.shape
+        assert features.is_valid()
+
+    @settings(**COMMON_SETTINGS)
+    @given(matrix_params)
+    def test_degenerate_rows_match_scalar_path_for_scalar_factors(self, params):
+        """With scalar factors both paths share one pseudo-inverse exactly."""
+        matrix = _matrix_from(params)
+        decomposition = _fit(matrix, "isvd0", "c")
+        projector = FoldInProjector(decomposition)
+        rows = IntervalMatrix.from_scalar(matrix.midpoint())
+        interval = projector.fold_in_interval(rows)
+        scalar = projector.fold_in(rows)
+        np.testing.assert_allclose(interval.midpoint(), scalar, atol=1e-12)
+        assert interval.is_scalar(tol=1e-12)
+
+
+class TestShapeValidation:
+    def test_wrong_width_raises(self, small_interval_matrix):
+        decomposition = _fit(small_interval_matrix, "isvd4", "b")
+        projector = FoldInProjector(decomposition)
+        with pytest.raises(ValueError, match="width"):
+            projector.fold_in(np.ones((2, small_interval_matrix.shape[1] + 1)))
+
+    def test_single_1d_row_is_promoted(self, small_interval_matrix):
+        decomposition = _fit(small_interval_matrix, "isvd4", "b")
+        projector = FoldInProjector(decomposition)
+        folded = projector.fold_in(small_interval_matrix.row(0))
+        assert folded.shape == (1, decomposition.rank)

@@ -1,0 +1,184 @@
+"""Tests for the model store (persistence layer of the serving subsystem)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.core import registry
+from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ModelStore(tmp_path / "models")
+
+
+@pytest.fixture
+def fitted(small_interval_matrix):
+    decomposition = registry.get("isvd4").fit(small_interval_matrix, 4, target="b")
+    return small_interval_matrix, decomposition
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_factors_and_metadata(self, store, fitted):
+        matrix, decomposition = fitted
+        record = store.save("movies", decomposition, matrix=matrix)
+        loaded, loaded_record = store.load("movies")
+
+        assert loaded_record == record
+        assert record.method == "ISVD4"
+        assert record.target == "b"
+        assert record.rank == 4
+        assert record.shape == matrix.shape
+        assert record.fingerprint == repro_io.interval_fingerprint(matrix)
+        assert record.created_at > 0
+        np.testing.assert_allclose(loaded.u_scalar(), decomposition.u_scalar())
+        np.testing.assert_allclose(loaded.v_scalar(), decomposition.v_scalar())
+        np.testing.assert_allclose(loaded.sigma_scalar(), decomposition.sigma_scalar())
+
+    def test_save_without_matrix_has_no_fingerprint(self, store, fitted):
+        _, decomposition = fitted
+        record = store.save("anon", decomposition)
+        assert record.fingerprint is None
+        assert store.record("anon").fingerprint is None
+
+    def test_explicit_fingerprint_wins(self, store, fitted):
+        _, decomposition = fitted
+        record = store.save("pinned", decomposition, fingerprint="abc123")
+        assert record.fingerprint == "abc123"
+
+    def test_save_replaces_existing_model(self, store, fitted):
+        matrix, decomposition = fitted
+        store.save("m", decomposition, matrix=matrix)
+        other = registry.get("isvd0").fit(matrix, 3, target="c")
+        store.save("m", other, matrix=matrix)
+        loaded, record = store.load("m")
+        assert record.method == "ISVD0" and record.rank == 3
+        assert loaded.rank == 3
+
+    def test_load_unknown_model_raises_with_available_names(self, store, fitted):
+        matrix, decomposition = fitted
+        store.save("present", decomposition)
+        with pytest.raises(ModelStoreError, match="present"):
+            store.load("absent")
+
+    def test_record_round_trips_through_dict(self, store, fitted):
+        _, decomposition = fitted
+        record = store.save("m", decomposition)
+        assert ModelRecord.from_dict(record.to_dict()) == record
+        # The dict form is JSON-serializable as-is (the HTTP API emits it).
+        assert json.loads(json.dumps(record.to_dict())) == record.to_dict()
+
+
+class TestListingAndDeletion:
+    def test_list_is_sorted_and_complete(self, store, fitted):
+        matrix, decomposition = fitted
+        for name in ("zeta", "alpha", "mid"):
+            store.save(name, decomposition, matrix=matrix)
+        assert [r.name for r in store.list()] == ["alpha", "mid", "zeta"]
+        assert len(store) == 3
+
+    def test_list_skips_incomplete_models(self, store, fitted):
+        matrix, decomposition = fitted
+        store.save("whole", decomposition)
+        # A metadata file without factors (e.g. a crashed publisher) is ignored.
+        (store.directory / "broken.json").write_text(
+            json.dumps(store.record("whole").to_dict()))
+        assert [r.name for r in store.list()] == ["whole"]
+        assert store.exists("whole") and not store.exists("broken")
+
+    def test_delete_removes_both_files(self, store, fitted):
+        _, decomposition = fitted
+        store.save("m", decomposition)
+        store.delete("m")
+        assert not store.exists("m")
+        assert list(store.directory.iterdir()) == []
+
+    def test_delete_unknown_raises(self, store):
+        with pytest.raises(ModelStoreError):
+            store.delete("ghost")
+
+    def test_read_paths_do_not_create_the_directory(self, tmp_path):
+        # A mistyped --store path must surface as an empty store, not
+        # silently materialize a directory on every read-only command.
+        store = ModelStore(tmp_path / "typo")
+        assert store.list() == []
+        assert len(store) == 0
+        assert not store.exists("m")
+        assert not (tmp_path / "typo").exists()
+
+    def test_list_skips_foreign_json(self, store, fitted):
+        _, decomposition = fitted
+        store.save("real", decomposition)
+        (store.directory / "package.json").write_text('{"name": "not-a-model"}')
+        (store.directory / "broken2.json").write_text("{not json")
+        (store.directory / "package.npz").write_bytes(b"junk")
+        (store.directory / "broken2.npz").write_bytes(b"junk")
+        assert [r.name for r in store.list()] == ["real"]
+
+    def test_record_of_foreign_json_raises_store_error(self, store, fitted):
+        _, decomposition = fitted
+        store.save("real", decomposition)
+        (store.directory / "foreign.json").write_text('{"name": "x"}')
+        with pytest.raises(ModelStoreError, match="metadata"):
+            store.record("foreign")
+
+
+class TestNamesAndAtomicity:
+    @pytest.mark.parametrize("bad", ["", "../escape", "a/b", ".hidden", "sp ace"])
+    def test_invalid_names_rejected(self, store, fitted, bad):
+        _, decomposition = fitted
+        with pytest.raises(ModelStoreError, match="invalid model name"):
+            store.save(bad, decomposition)
+
+    def test_no_temp_files_survive_a_save(self, store, fitted):
+        matrix, decomposition = fitted
+        store.save("m", decomposition, matrix=matrix)
+        leftovers = [p.name for p in store.directory.iterdir()
+                     if p.name.startswith(".")]
+        assert leftovers == []
+
+    def test_atomic_write_cleans_up_on_error(self, tmp_path):
+        target = tmp_path / "out.npz"
+        with pytest.raises(RuntimeError):
+            with repro_io.atomic_write(target) as tmp:
+                tmp.write_bytes(b"partial")
+                raise RuntimeError("writer crashed")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_atomic_write_keeps_npz_suffix(self, tmp_path):
+        # numpy.savez appends ".npz" to paths without the suffix; the temp
+        # path must keep it so the final replace targets the written file.
+        with repro_io.atomic_write(tmp_path / "cell.npz") as tmp:
+            assert tmp.suffix == ".npz"
+            np.savez(tmp, x=np.arange(3))
+        assert (tmp_path / "cell.npz").exists()
+
+    def test_concurrent_publishers_leave_a_complete_model(self, store, fitted):
+        matrix, decomposition = fitted
+        other = registry.get("isvd0").fit(matrix, 3, target="c")
+        errors = []
+
+        def publish(dec):
+            try:
+                for _ in range(10):
+                    store.save("contested", dec, matrix=matrix)
+            except Exception as error:  # pragma: no cover - failure diagnostics
+                errors.append(error)
+
+        threads = [threading.Thread(target=publish, args=(dec,))
+                   for dec in (decomposition, other)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        loaded, record = store.load("contested")
+        # Atomic replacement: both files parse completely — a reader can race
+        # the writers and still never observe a truncated NPZ or JSON file.
+        assert record.method in ("ISVD4", "ISVD0")
+        assert loaded.rank in (3, 4)
