@@ -35,6 +35,7 @@ from repro.core import registry
 from repro.core.accuracy import harmonic_mean_accuracy
 from repro.experiments.engine import ExperimentEngine
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import DEFAULT_KERNEL, available_kernels
 from repro import io as repro_io
 
 #: Default model-store directory for ``decompose --save-model`` / ``models`` /
@@ -92,8 +93,18 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     rank = min(rank, min(matrix.shape))
     info = registry.get(args.method)
     target = args.target or info.default_target
+    fit_options = {}
+    if args.interval_kernel is not None:
+        if not info.kernel_aware:
+            raise SystemExit(
+                f"method {info.key!r} does not route interval products through "
+                "a pluggable kernel; --interval-kernel applies to "
+                + ", ".join(i.key for i in registry.infos() if i.kernel_aware)
+            )
+        fit_options["kernel"] = args.interval_kernel
     try:
-        decomposition = info.fit(matrix, rank, target=target, seed=args.seed)
+        decomposition = info.fit(matrix, rank, target=target, seed=args.seed,
+                                 **fit_options)
     except ValueError as error:  # RegistryError, non-negativity, rank bounds...
         raise SystemExit(str(error))
     accuracy = harmonic_mean_accuracy(matrix, decomposition)
@@ -132,7 +143,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     experiments = _experiment_registry()
     if args.name not in experiments:
         raise SystemExit(f"unknown experiment {args.name!r}; choose from {sorted(experiments)}")
-    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                              kernel=args.interval_kernel)
     results = experiments[args.name](engine)
     if args.format == "json":
         print(json.dumps(_experiment_payload(results), indent=2, default=str))
@@ -183,13 +195,32 @@ def _cmd_list_methods(args: argparse.Namespace) -> int:
             info.default_target,
             info.cost,
             "yes" if info.stochastic else "no",
+            "yes" if info.kernel_aware else "no",
             info.summary,
         ]
         for info in registry.infos()
     ]
     print(format_table(
-        ["key", "name", "targets", "default", "cost", "stochastic", "summary"],
+        ["key", "name", "targets", "default", "cost", "stochastic", "kernels", "summary"],
         rows, title="Registered factorization methods",
+    ))
+    print()
+    from repro.interval.kernels import kernel_infos
+
+    kernel_rows = [
+        [
+            info.key,
+            "yes" if info.sound else "NO",
+            "yes" if info.tight else "no",
+            "yes" if info.paper_faithful else "no",
+            info.cost,
+            info.summary,
+        ]
+        for info in kernel_infos()
+    ]
+    print(format_table(
+        ["kernel", "sound", "tight", "paper", "cost", "summary"],
+        kernel_rows, title="Interval-product kernels (--interval-kernel)",
     ))
     return 0
 
@@ -226,7 +257,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = create_server(
         args.store, host=args.host, port=args.port,
         max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
-        verbose=args.verbose,
+        verbose=args.verbose, kernel=args.interval_kernel,
     )
     host, port = server.server_address[:2]
     models = server.app.store.list()
@@ -292,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="decomposition target (default: the method's)")
     decompose.add_argument("--seed", type=int, default=None,
                            help="seed for stochastic methods")
+    decompose.add_argument("--interval-kernel", default=None, choices=available_kernels(),
+                           help="interval-product kernel for kernel-aware methods "
+                                f"(default: {DEFAULT_KERNEL}, the paper's construction)")
     decompose.add_argument("--output", help="write the factors to this NPZ path")
     decompose.add_argument("--save-model", metavar="NAME",
                            help="publish the factors to the model store under this name")
@@ -307,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory for the on-disk decomposition cache "
                                  "(reused by the decomposition grids; timing and "
                                  "model-training experiments always recompute)")
+    experiment.add_argument("--interval-kernel", default=None, choices=available_kernels(),
+                            help="interval-product kernel for kernel-aware methods "
+                                 f"(default: {DEFAULT_KERNEL}; reproduced numbers "
+                                 "match the paper only with the default)")
     experiment.add_argument("--format", choices=["table", "json", "csv"], default="table",
                             help="output format printed to stdout")
     experiment.add_argument("--json", help="also write the rows/records to this JSON path")
@@ -343,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="most single-row queries stacked into one BLAS call")
     serve.add_argument("--batch-delay", type=float, default=2.0,
                        help="micro-batch window in milliseconds")
+    serve.add_argument("--interval-kernel", default=None, choices=available_kernels(),
+                       help="interval-product kernel for served fold-in features "
+                            f"(default: {DEFAULT_KERNEL})")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
     serve.set_defaults(handler=_cmd_serve)

@@ -34,6 +34,7 @@ from repro.core.ilsa import AlignmentResult, align_factor_set, ilsa
 from repro.core.result import DecompositionTarget, IntervalDecomposition
 from repro.core.targets import build_decomposition
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike
 from repro.interval.linalg import (
     DEFAULT_CONDITION_THRESHOLD,
     interval_matmul,
@@ -168,14 +169,15 @@ def isvd1(
 # Shared eigen-decomposition step for ISVD2/3/4
 # --------------------------------------------------------------------------- #
 def _gram_eigendecompositions(
-    matrix: IntervalMatrix, rank: int
+    matrix: IntervalMatrix, rank: int, kernel: KernelLike = None
 ) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Eigen-decompose the interval Gram matrix ``A = M^T M`` (Section 4.3.1).
 
     Returns ``(A, V_lo, sigma_lo, V_hi, sigma_hi)`` where the sigma vectors are
     the square roots of the top-``r`` eigenvalues of ``A_lo`` and ``A_hi``.
+    ``kernel`` selects the interval-product kernel for the Gram step.
     """
-    gram = interval_matmul(matrix.T, matrix)
+    gram = interval_matmul(matrix.T, matrix, kernel=kernel)
     v_lo, s_lo = truncated_eigh(gram.lower, rank)
     v_hi, s_hi = truncated_eigh(gram.upper, rank)
     return gram, v_lo, s_lo, v_hi, s_hi
@@ -196,6 +198,7 @@ def isvd2(
     rank: int,
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
+    kernel: KernelLike = None,
 ) -> IntervalDecomposition:
     """Eigen-decompose the interval Gram matrix, solve for U, then align (Alg. 9)."""
     matrix = IntervalMatrix.coerce(matrix)
@@ -203,7 +206,7 @@ def isvd2(
     timings: Dict[str, float] = {}
 
     start = time.perf_counter()
-    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank)
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank, kernel=kernel)
     timings["preprocessing"] = 0.0
     timings["decomposition"] = time.perf_counter() - start
 
@@ -231,13 +234,13 @@ def isvd2(
 # ISVD3 — decompose, align, solve
 # --------------------------------------------------------------------------- #
 def _aligned_gram_factors(
-    matrix: IntervalMatrix, rank: int, align_method: str
+    matrix: IntervalMatrix, rank: int, align_method: str, kernel: KernelLike = None
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, AlignmentResult, Dict[str, float]]:
     """Shared first phase of ISVD3/ISVD4: eigen-decompose, then align V and Sigma."""
     timings: Dict[str, float] = {"preprocessing": 0.0}
 
     start = time.perf_counter()
-    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank)
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank, kernel=kernel)
     timings["decomposition"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -255,11 +258,13 @@ def _solve_interval_u(
     v_hi: np.ndarray,
     s_hi: np.ndarray,
     condition_threshold: float,
+    kernel: KernelLike = None,
 ) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray]:
     """Recover interval-valued U via ``U = M (V^T)^{-1} Sigma^{-1}`` (Section 4.4.2).
 
     Returns ``(U_interval, v_t_inverse, core_inverse)`` so ISVD4 can reuse the
-    inverses for the V-recomputation step.
+    inverses for the V-recomputation step.  ``kernel`` selects the
+    interval-product kernel for the recovery product.
     """
     v_avg = 0.5 * (v_lo + v_hi)
     v_t_inverse = safe_inverse(v_avg.T, condition_threshold=condition_threshold)
@@ -267,7 +272,7 @@ def _solve_interval_u(
         np.diag(np.minimum(s_lo, s_hi)), np.diag(np.maximum(s_lo, s_hi)), check=False
     )
     core_inverse = inverse_core(core)
-    u_interval = interval_matmul(matrix, v_t_inverse @ core_inverse)
+    u_interval = interval_matmul(matrix, v_t_inverse @ core_inverse, kernel=kernel)
     return u_interval, v_t_inverse, core_inverse
 
 
@@ -277,18 +282,19 @@ def isvd3(
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+    kernel: KernelLike = None,
 ) -> IntervalDecomposition:
     """Align the right factors first, then solve for U with interval algebra (Alg. 10)."""
     matrix = IntervalMatrix.coerce(matrix)
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method
+        matrix, rank, align_method, kernel=kernel
     )
 
     start = time.perf_counter()
     u_interval, _, _ = _solve_interval_u(
-        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold
+        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold, kernel=kernel
     )
     timings["decomposition"] += time.perf_counter() - start
 
@@ -312,6 +318,7 @@ def isvd4(
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+    kernel: KernelLike = None,
 ) -> IntervalDecomposition:
     """ISVD3 plus a final recomputation of V from the recovered U (Alg. 11).
 
@@ -322,17 +329,17 @@ def isvd4(
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method
+        matrix, rank, align_method, kernel=kernel
     )
 
     start = time.perf_counter()
     u_interval, _, core_inverse = _solve_interval_u(
-        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold
+        matrix, v_lo, s_lo, v_hi, s_hi, condition_threshold, kernel=kernel
     )
 
     u_avg = u_interval.midpoint()
     u_inverse = safe_inverse(u_avg, condition_threshold=condition_threshold)
-    v_interval = interval_matmul(core_inverse @ u_inverse, matrix).T
+    v_interval = interval_matmul(core_inverse @ u_inverse, matrix, kernel=kernel).T
     timings["decomposition"] += time.perf_counter() - start
 
     start = time.perf_counter()
@@ -356,6 +363,7 @@ def isvd(
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
+    kernel: KernelLike = None,
 ) -> IntervalDecomposition:
     """Decompose an interval-valued matrix with the requested ISVD strategy.
 
@@ -376,6 +384,11 @@ def isvd(
     condition_threshold:
         Condition number above which ISVD3/ISVD4 switch to the truncated
         pseudo-inverse (Section 4.4.2.2).
+    kernel:
+        Interval-product kernel (:mod:`repro.interval.kernels`) used by the
+        ISVD2/3/4 gram and factor-recovery products.  ``None`` keeps the
+        paper-faithful ``endpoint4`` default; ISVD0/ISVD1 never form interval
+        products, so they accept and ignore the parameter.
 
     Returns
     -------
@@ -393,13 +406,14 @@ def isvd(
     if method is ISVDMethod.ISVD1:
         return isvd1(matrix, rank, target=target, align_method=align_method)
     if method is ISVDMethod.ISVD2:
-        return isvd2(matrix, rank, target=target, align_method=align_method)
+        return isvd2(matrix, rank, target=target, align_method=align_method,
+                     kernel=kernel)
     if method is ISVDMethod.ISVD3:
         return isvd3(
             matrix, rank, target=target, align_method=align_method,
-            condition_threshold=condition_threshold,
+            condition_threshold=condition_threshold, kernel=kernel,
         )
     return isvd4(
         matrix, rank, target=target, align_method=align_method,
-        condition_threshold=condition_threshold,
+        condition_threshold=condition_threshold, kernel=kernel,
     )

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.result import DecompositionTarget, IntervalDecomposition
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike
 from repro.interval.linalg import average_replacement_matrix, interval_matmul
 
 
@@ -25,13 +26,19 @@ def _as_interval(matrix: Union[np.ndarray, IntervalMatrix]) -> IntervalMatrix:
     return IntervalMatrix.from_scalar(np.asarray(matrix, dtype=float))
 
 
-def reconstruct_target_a(decomposition: IntervalDecomposition) -> IntervalMatrix:
-    """Interval reconstruction ``U (x) Sigma (x) V^T`` with interval algebra (Alg. 12)."""
+def reconstruct_target_a(decomposition: IntervalDecomposition,
+                         kernel: KernelLike = None) -> IntervalMatrix:
+    """Interval reconstruction ``U (x) Sigma (x) V^T`` with interval algebra (Alg. 12).
+
+    ``kernel`` selects the interval-product kernel
+    (:mod:`repro.interval.kernels`); ``None`` keeps the paper-faithful
+    ``endpoint4`` default.
+    """
     u = _as_interval(decomposition.u)
     sigma = _as_interval(decomposition.sigma)
     v_t = _as_interval(decomposition.v).T
-    partial = interval_matmul(u, sigma)
-    return interval_matmul(partial, v_t)
+    partial = interval_matmul(u, sigma, kernel=kernel)
+    return interval_matmul(partial, v_t, kernel=kernel)
 
 
 def reconstruct_target_b(decomposition: IntervalDecomposition) -> IntervalMatrix:
@@ -61,11 +68,16 @@ def reconstruct_target_c(decomposition: IntervalDecomposition) -> IntervalMatrix
     return IntervalMatrix.from_scalar(u @ sigma @ v_t)
 
 
-def reconstruct(decomposition: IntervalDecomposition) -> IntervalMatrix:
-    """Reconstruct the approximated matrix per the decomposition's target."""
+def reconstruct(decomposition: IntervalDecomposition,
+                kernel: KernelLike = None) -> IntervalMatrix:
+    """Reconstruct the approximated matrix per the decomposition's target.
+
+    ``kernel`` selects the interval-product kernel for target-a
+    reconstructions; targets b and c use scalar products and ignore it.
+    """
     target = decomposition.target
     if target is DecompositionTarget.A:
-        return reconstruct_target_a(decomposition)
+        return reconstruct_target_a(decomposition, kernel=kernel)
     if target is DecompositionTarget.B:
         return reconstruct_target_b(decomposition)
     return reconstruct_target_c(decomposition)

@@ -24,6 +24,10 @@ the fit callable:
   seed (the iterative models); deterministic methods ignore ``seed``;
 * ``requires_nonnegative`` — True for the NMF family, which rejects inputs
   with negative entries;
+* ``kernel_aware`` — True when the method routes its interval products
+  through the pluggable kernel registry (:mod:`repro.interval.kernels`) and
+  therefore honours a ``kernel=`` fit option (ISVD2/3/4, whose gram and
+  factor-recovery steps are interval products);
 * ``cost`` — coarse cost class: ``"closed-form"`` (a fixed number of dense
   linear-algebra kernels), ``"iterative"`` (gradient / multiplicative update
   loops) or ``"expensive"`` (methods the paper reports as impractically slow,
@@ -80,6 +84,7 @@ class FactorizerInfo:
     scalar_only: bool = False
     stochastic: bool = False
     requires_nonnegative: bool = False
+    kernel_aware: bool = False
     _fit: Callable[..., IntervalDecomposition] = field(repr=False, default=None)
 
     def supports_target(self, target: Union[str, DecompositionTarget]) -> bool:
@@ -183,19 +188,19 @@ register(FactorizerInfo(
 ))
 register(FactorizerInfo(
     key="isvd2", display_name="ISVD2", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form",
+    cost="closed-form", kernel_aware=True,
     summary="Gram eigen-decomposition, solve U, then align (Alg. 9)",
     _fit=_isvd_fit("isvd2"),
 ))
 register(FactorizerInfo(
     key="isvd3", display_name="ISVD3", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form",
+    cost="closed-form", kernel_aware=True,
     summary="align first, then solve U with interval algebra (Alg. 10)",
     _fit=_isvd_fit("isvd3"),
 ))
 register(FactorizerInfo(
     key="isvd4", display_name="ISVD4", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form",
+    cost="closed-form", kernel_aware=True,
     summary="ISVD3 plus V recomputation; the paper's best strategy (Alg. 11)",
     _fit=_isvd_fit("isvd4"),
 ))

@@ -125,7 +125,9 @@ def make_ratings_dataset(
     its category profile plus item-specific variation, mapped onto the 1..5
     star scale.  A fraction ``density`` of cells is observed.
 
-    Parameters override the preset when given; ``preset=None`` requires all
+    Parameters override the preset when given (``None`` means "use the
+    preset's value" — an explicit ``0`` is invalid geometry and raises, it
+    does not silently fall back to the preset); ``preset=None`` requires all
     geometry parameters explicitly.
     """
     if preset is not None:
@@ -135,15 +137,23 @@ def make_ratings_dataset(
             raise ValueError(
                 f"unknown preset {preset!r}; expected one of {sorted(SOCIAL_MEDIA_PRESETS)}"
             ) from exc
-        n_users = n_users or base.n_users
-        n_items = n_items or base.n_items
-        n_categories = n_categories or base.n_categories
-        density = density if density is not None else base.density
+        if n_users is None:
+            n_users = base.n_users
+        if n_items is None:
+            n_items = base.n_items
+        if n_categories is None:
+            n_categories = base.n_categories
+        if density is None:
+            density = base.density
         name = base.name
     else:
         name = "custom"
-    if not all([n_users, n_items, n_categories]) or density is None:
+    if n_users is None or n_items is None or n_categories is None or density is None:
         raise ValueError("n_users, n_items, n_categories and density are required")
+    for label, value in (("n_users", n_users), ("n_items", n_items),
+                         ("n_categories", n_categories)):
+        if value != int(value) or int(value) < 1:
+            raise ValueError(f"{label} must be a positive integer, got {value!r}")
     if not 0.0 < density <= 1.0:
         raise ValueError("density must be in (0, 1]")
     if n_categories > n_items:

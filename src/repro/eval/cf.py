@@ -32,6 +32,13 @@ def _clip_predictions(predictions: np.ndarray,
     if clip_range is None:
         return predictions
     low, high = clip_range
+    if not (np.isfinite(low) and np.isfinite(high)):
+        # NaN bounds would pass a naive `low > high` check (NaN comparisons
+        # are False) and then np.clip would turn every prediction into NaN.
+        raise ValueError(
+            f"invalid clip_range: bounds must be finite, got ({low}, {high}); "
+            "pass clip_range=None to disable clipping"
+        )
     if low > high:
         raise ValueError(
             f"invalid clip_range: lower bound {low} exceeds upper bound {high}"

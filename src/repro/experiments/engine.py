@@ -255,15 +255,32 @@ class ExperimentEngine:
         Root of the per-cell seed derivation (:func:`derive_seed`).  Two
         engines with the same base seed produce identical records for the
         same grid, regardless of ``jobs`` or cache state.
+    kernel:
+        Interval-product kernel (:mod:`repro.interval.kernels`) passed to
+        every kernel-aware method the engine runs (see
+        :attr:`~repro.core.registry.FactorizerInfo.kernel_aware`).  ``None``
+        (default) keeps the paper-faithful ``endpoint4`` construction so
+        reproduced numbers match the paper; a non-default kernel becomes part
+        of each cell's cache key, so cached ``endpoint4`` results are never
+        served for a ``rump``/``exact`` run or vice versa.  Selecting the
+        default kernel explicitly is normalized to ``None``, so it reuses
+        (and feeds) the same cache entries as a default run.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[PathLike] = None,
-                 base_seed: int = 0):
+                 base_seed: int = 0, kernel: Optional[str] = None):
         if jobs < 1:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
         self.cache = DecompositionCache(cache_dir) if cache_dir else None
         self.base_seed = base_seed
+        if kernel is not None:
+            from repro.interval.kernels import DEFAULT_KERNEL, get_kernel
+
+            kernel = get_kernel(kernel).key  # fail fast on typos, store the key
+            if kernel == DEFAULT_KERNEL:
+                kernel = None  # byte-identical to a default run: share its cache
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
     # Generic parallel primitives
@@ -301,6 +318,8 @@ class ExperimentEngine:
         if target is None:
             target = info.default_target
         matrix = IntervalMatrix.coerce(matrix)
+        if self.kernel is not None and info.kernel_aware:
+            options.setdefault("kernel", self.kernel)
 
         cache_key = None
         if self.cache is not None and not (info.stochastic and seed is None):

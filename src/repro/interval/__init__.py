@@ -6,10 +6,22 @@ dense :class:`~repro.interval.array.IntervalMatrix` arrays backed by numpy,
 and the interval linear-algebra kernels (interval matrix multiplication,
 average replacement, diagonal-core inversion, L2 column normalization) that
 the ISVD algorithms are built from.
+
+The interval matrix product is pluggable (:mod:`repro.interval.kernels`):
+the paper-faithful ``endpoint4`` construction stays the default, with sound
+``exact`` and ``rump`` alternatives selectable wherever a product runs.
 """
 
 from repro.interval.scalar import Interval
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import (
+    DEFAULT_KERNEL,
+    KernelInfo,
+    available_kernels,
+    get_kernel,
+    kernel_infos,
+    register_kernel,
+)
 from repro.interval.linalg import (
     interval_matmul,
     average_replacement_matrix,
@@ -27,6 +39,12 @@ from repro.interval.random import (
 __all__ = [
     "Interval",
     "IntervalMatrix",
+    "DEFAULT_KERNEL",
+    "KernelInfo",
+    "available_kernels",
+    "get_kernel",
+    "kernel_infos",
+    "register_kernel",
     "interval_matmul",
     "average_replacement_matrix",
     "average_replacement_vector",

@@ -19,6 +19,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.scalar import Interval, IntervalError
 
 MatrixLike = Union[IntervalMatrix, np.ndarray]
@@ -31,25 +32,36 @@ PSEUDO_INVERSE_CUTOFF = 0.1
 DEFAULT_CONDITION_THRESHOLD = 1e8
 
 
-def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None) -> IntervalMatrix:
+def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None,
+                    kernel: KernelLike = None) -> IntervalMatrix:
     """Interval-valued matrix product ``a @ b`` (supplementary Algorithm 1).
 
     Both operands may be interval matrices or plain scalar ndarrays.  The
-    result encloses every product ``A B`` with ``A in a`` and ``B in b``
-    achievable when each entry varies independently, computed — exactly as in
-    the paper's pseudo-code — as the elementwise min/max over the four
-    endpoint-matrix products.
+    default construction is the paper's pseudo-code: the elementwise min/max
+    over the four endpoint-matrix products.
 
-    ``matmul`` overrides the scalar product kernel (default ``numpy.matmul``);
-    the serving layer passes a batch-size-invariant kernel so micro-batched
-    queries reproduce unbatched results bit for bit.
+    ``matmul`` overrides the scalar product primitive (default
+    ``numpy.matmul``); the serving layer passes a batch-size-invariant kernel
+    so micro-batched queries reproduce unbatched results bit for bit.
+
+    ``kernel`` selects the interval-product kernel from
+    :mod:`repro.interval.kernels` (a key or a
+    :class:`~repro.interval.kernels.KernelInfo`): ``"endpoint4"`` (default),
+    ``"exact"``, or ``"rump"``.
 
     Notes
     -----
-    The four-product construction is exact when, for each operand, every entry
-    of a row (respectively column) has consistent sign behaviour; in general it
-    is a sound enclosure of the paper's definition, and it is the construction
-    the original authors use.
+    The default four-product construction is **not** a sound enclosure of the
+    product range in general: min/max over the four endpoint products is
+    taken *after* the sum over the inner dimension, so cancellations between
+    summands of opposite sign shrink the reported interval below the true
+    range.  ``[[-1,1], [-1,1]] @ [[2], [-2]]`` returns the degenerate
+    ``[0, 0]`` while the achievable range is ``[-4, 4]``.  The construction
+    is exact precisely on sign-consistent operands (no entry of either
+    operand straddling zero with a mixed-sign partner); it is kept as the
+    default because it is what the original authors compute, so reproduction
+    figures match the paper.  Pass ``kernel="exact"`` for the true hull or
+    ``kernel="rump"`` for a fast sound enclosure.
     """
     a = IntervalMatrix.coerce(a)
     b = IntervalMatrix.coerce(b)
@@ -59,31 +71,25 @@ def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None) -> IntervalMatrix
         raise IntervalError(
             f"incompatible shapes for interval matmul: {a.shape} @ {b.shape}"
         )
-    products = (
-        matmul(a.lower, b.lower),
-        matmul(a.lower, b.upper),
-        matmul(a.upper, b.lower),
-        matmul(a.upper, b.upper),
-    )
-    stacked = np.stack(products)
-    return IntervalMatrix(stacked.min(axis=0), stacked.max(axis=0), check=False)
+    lower, upper = get_kernel(kernel).product(a, b, matmul=matmul)
+    return IntervalMatrix(lower, upper, check=False)
 
 
-def interval_dot(x: MatrixLike, y: MatrixLike) -> Interval:
-    """Interval dot product of two 1-D interval vectors."""
+def interval_dot(x: MatrixLike, y: MatrixLike, kernel: KernelLike = "exact") -> Interval:
+    """Interval dot product of two 1-D interval vectors.
+
+    The default kernel is ``"exact"`` — unlike the matrix product, the dot
+    product has always been computed here as the sum of per-element interval
+    products, which *is* the exact hull, so the default is unchanged.  Pass
+    ``kernel="endpoint4"`` for the (unsound) four-endpoint construction or
+    ``"rump"`` for the midpoint-radius enclosure.
+    """
     x = IntervalMatrix.coerce(x)
     y = IntervalMatrix.coerce(y)
     if x.shape != y.shape or x.ndim != 1:
         raise IntervalError(f"interval_dot expects matching 1-D vectors, got {x.shape}, {y.shape}")
-    products = np.stack(
-        [
-            x.lower * y.lower,
-            x.lower * y.upper,
-            x.upper * y.lower,
-            x.upper * y.upper,
-        ]
-    )
-    return Interval(float(products.min(axis=0).sum()), float(products.max(axis=0).sum()))
+    lower, upper = get_kernel(kernel).product(x, y)
+    return Interval(float(lower), float(upper))
 
 
 def interval_self_dot(x: MatrixLike) -> Interval:
@@ -134,6 +140,11 @@ def inverse_core(sigma: IntervalMatrix) -> np.ndarray:
     interval diagonal entry ``[s_lo, s_hi]`` is the *scalar* ``2 / (s_lo + s_hi)``;
     zero diagonal entries invert to zero, and half-zero entries fall back to
     ``2 / s`` on the non-zero endpoint.
+
+    Each diagonal entry must be a valid interval (``lo <= hi``): a misordered
+    entry like ``[5, 0]`` is not an interval at all, and silently averaging
+    its endpoints would hide an upstream alignment/decomposition bug, so it
+    raises :class:`~repro.interval.scalar.IntervalError` instead.
     """
     if sigma.ndim != 2 or sigma.shape[0] != sigma.shape[1]:
         raise IntervalError(f"inverse_core expects a square matrix, got {sigma.shape}")
@@ -141,15 +152,19 @@ def inverse_core(sigma: IntervalMatrix) -> np.ndarray:
     inverse = np.zeros((r, r), dtype=float)
     lo = np.diag(sigma.lower)
     hi = np.diag(sigma.upper)
+    misordered = lo > hi
+    if misordered.any():
+        raise IntervalError(
+            f"{int(misordered.sum())} diagonal entries have lower > upper; "
+            "correct the core with average replacement before inverting it"
+        )
     if (lo < 0).any() or (hi < 0).any():
         raise IntervalError("inverse_core expects a non-negative diagonal core")
     for i in range(r):
-        if lo[i] == 0.0 and hi[i] == 0.0:
+        if hi[i] == 0.0:  # lo <= hi and lo >= 0, so the whole entry is zero
             inverse[i, i] = 0.0
         elif lo[i] == 0.0:
             inverse[i, i] = 2.0 / hi[i]
-        elif hi[i] == 0.0:
-            inverse[i, i] = 2.0 / lo[i]
         else:
             inverse[i, i] = 2.0 / (lo[i] + hi[i])
     return inverse

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.result import IntervalDecomposition
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.linalg import interval_matmul
 
 Rows = Union[np.ndarray, IntervalMatrix]
@@ -52,10 +53,16 @@ class FoldInProjector:
 
     All pseudo-inverses are precomputed once at construction (``m x r`` each),
     so folding a batch of rows is a single matrix product.
+
+    ``kernel`` selects the interval-product kernel
+    (:mod:`repro.interval.kernels`) for the latent-feature product of
+    :meth:`latent_features`; the scalar fold-in paths are kernel-independent.
     """
 
-    def __init__(self, decomposition: IntervalDecomposition):
+    def __init__(self, decomposition: IntervalDecomposition,
+                 kernel: KernelLike = None):
         self.decomposition = decomposition
+        self.kernel = get_kernel(kernel)
         self.rank = decomposition.rank
         self.n_items = int(decomposition.v.shape[0])
 
@@ -121,7 +128,8 @@ class FoldInProjector:
         sigma = self.decomposition.sigma
         if not isinstance(sigma, IntervalMatrix):
             sigma = IntervalMatrix.from_scalar(np.asarray(sigma, dtype=float))
-        return interval_matmul(u, sigma, matmul=batch_invariant_matmul)
+        return interval_matmul(u, sigma, matmul=batch_invariant_matmul,
+                               kernel=self.kernel)
 
     def reconstruct_rows(self, rows: Rows) -> np.ndarray:
         """Served (midpoint) reconstruction of the query rows (``q x m``).

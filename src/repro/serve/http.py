@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.scalar import IntervalError
 from repro.serve.batching import MicroBatcher
 from repro.serve.query import QueryEngine, top_k
@@ -89,11 +90,17 @@ def _finite(rows: IntervalMatrix) -> IntervalMatrix:
 
 
 class ServingApp:
-    """The service's state: a model store, cached engines, micro-batchers."""
+    """The service's state: a model store, cached engines, micro-batchers.
+
+    ``kernel`` selects the interval-product kernel every engine is built
+    with (resolved once at startup so a typo fails at boot, not per request);
+    ``None`` keeps the paper-faithful default.
+    """
 
     def __init__(self, store: Union[ModelStore, str], max_batch: int = 64,
-                 batch_delay: float = 0.002):
+                 batch_delay: float = 0.002, kernel: KernelLike = None):
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
+        self.kernel = get_kernel(kernel)
         self.max_batch = max_batch
         self.batch_delay = batch_delay
         self._lock = threading.Lock()
@@ -126,7 +133,7 @@ class ServingApp:
             self._evict(name)
             raise RequestError(f"model {name!r} is not loadable: {error}",
                                status=404) from error
-        engine = QueryEngine(decomposition)
+        engine = QueryEngine(decomposition, kernel=self.kernel)
         with self._lock:
             self._engines[name] = (version, engine)
         return engine
@@ -340,14 +347,17 @@ def create_server(
     max_batch: int = 64,
     batch_delay: float = 0.002,
     verbose: bool = False,
+    kernel: KernelLike = None,
 ) -> ServingHTTPServer:
     """Build a ready-to-run threading HTTP server over a model store.
 
     ``port=0`` binds an ephemeral port (``server.server_address`` has the
     real one).  Call ``serve_forever()`` to run; each connection is handled
     on its own thread, and concurrent single-row queries are micro-batched.
+    ``kernel`` selects the interval-product kernel for every served model.
     """
     server = ServingHTTPServer((host, port), ServingHandler)
-    server.app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay)  # type: ignore[attr-defined]
+    server.app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,
+                            kernel=kernel)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server

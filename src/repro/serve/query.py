@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.result import IntervalDecomposition
 from repro.eval.knn import pairwise_interval_distances
+from repro.interval.kernels import KernelLike
 from repro.serve.foldin import FoldInProjector, Rows, batch_invariant_matmul
 
 
@@ -68,11 +69,16 @@ class QueryEngine:
     and its pseudo-inverses (via :class:`FoldInProjector`), the stored rows'
     latent coordinates, and their interval features.  A query is then pure
     matrix arithmetic on the precomputed state — no factorization runs.
+
+    ``kernel`` selects the interval-product kernel
+    (:mod:`repro.interval.kernels`) used when folding query rows into latent
+    features for retrieval; ``None`` keeps the paper-faithful default.
     """
 
-    def __init__(self, decomposition: IntervalDecomposition):
+    def __init__(self, decomposition: IntervalDecomposition,
+                 kernel: KernelLike = None):
         self.decomposition = decomposition
-        self.projector = FoldInProjector(decomposition)
+        self.projector = FoldInProjector(decomposition, kernel=kernel)
         self.item_map = self.projector.item_map
         self.n_items = self.projector.n_items
         #: Latent coordinates of the rows the model was fitted on (n x r).

@@ -130,6 +130,75 @@ class TestListMethodsCommand:
             assert key in captured
         assert "targets" in captured and "cost" in captured
 
+    def test_lists_every_interval_kernel(self, capsys):
+        from repro.interval.kernels import available_kernels
+
+        main(["list-methods"])
+        captured = capsys.readouterr().out
+        for key in available_kernels():
+            assert key in captured
+        assert "sound" in captured
+
+
+class TestIntervalKernelOption:
+    def test_decompose_accepts_each_kernel(self, matrix_csv, capsys):
+        path, _ = matrix_csv
+        from repro.interval.kernels import available_kernels
+
+        for kernel in available_kernels():
+            exit_code = main(["decompose", "--csv", str(path), "--rank", "3",
+                              "--interval-kernel", kernel])
+            assert exit_code == 0
+            assert "ISVD4" in capsys.readouterr().out
+
+    def test_unknown_kernel_rejected_by_parser(self, matrix_csv):
+        path, _ = matrix_csv
+        with pytest.raises(SystemExit):
+            main(["decompose", "--csv", str(path), "--interval-kernel", "typo"])
+
+    def test_kernel_with_unaware_method_exits_cleanly(self, matrix_csv):
+        path, _ = matrix_csv
+        with pytest.raises(SystemExit, match="interval-kernel"):
+            main(["decompose", "--csv", str(path), "--rank", "2",
+                  "--method", "isvd1", "--interval-kernel", "rump"])
+
+    def test_experiment_threads_kernel_into_engine(self, tmp_path, monkeypatch):
+        from repro import cli as cli_module
+
+        captured = {}
+
+        class RecordingEngine:
+            def __init__(self, jobs, cache_dir, kernel=None):
+                captured["kernel"] = kernel
+
+        monkeypatch.setattr(cli_module, "ExperimentEngine", RecordingEngine)
+        registry = {"noop": lambda engine: {}}
+        monkeypatch.setattr(cli_module, "_experiment_registry", lambda: registry)
+        exit_code = main(["experiment", "noop", "--interval-kernel", "exact"])
+        assert exit_code == 0
+        assert captured["kernel"] == "exact"
+
+    def test_serve_threads_kernel_into_app(self, matrix_csv, tmp_path, capsys, monkeypatch):
+        from repro.serve.http import ServingHTTPServer
+
+        path, _ = matrix_csv
+        store = tmp_path / "store"
+        main(["decompose", "--csv", str(path), "--rank", "2",
+              "--save-model", "m", "--store", str(store)])
+        capsys.readouterr()
+        monkeypatch.setattr(ServingHTTPServer, "serve_forever", lambda self: None)
+        holder = {}
+        original_init = ServingHTTPServer.__init__
+
+        def recording_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            holder["server"] = self
+
+        monkeypatch.setattr(ServingHTTPServer, "__init__", recording_init)
+        assert main(["serve", "--store", str(store), "--port", "0",
+                     "--interval-kernel", "rump"]) == 0
+        assert holder["server"].app.kernel.key == "rump"
+
 
 class TestDecomposeRegistryMethods:
     def test_decompose_with_interval_pca(self, tmp_path, capsys):

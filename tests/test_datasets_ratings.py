@@ -48,6 +48,20 @@ class TestGeneration:
         with pytest.raises(ValueError):
             make_ratings_dataset(preset="netflix")
 
+    def test_explicit_zero_geometry_raises_not_preset_fallback(self):
+        # Regression: `or`-fallbacks treated an explicit 0 as "use the preset
+        # default" — make_ratings_dataset("movielens", n_users=0) silently
+        # yielded 400 users instead of rejecting the impossible geometry.
+        for kwargs in ({"n_users": 0}, {"n_items": 0}, {"n_categories": 0}):
+            with pytest.raises(ValueError, match="positive integer"):
+                make_ratings_dataset(preset="movielens", **kwargs)
+
+    def test_negative_and_fractional_geometry_raise(self):
+        with pytest.raises(ValueError, match="n_users"):
+            make_ratings_dataset(preset="movielens", n_users=-5)
+        with pytest.raises(ValueError, match="n_items"):
+            make_ratings_dataset(preset="movielens", n_items=2.5)
+
     def test_custom_requires_all_parameters(self):
         with pytest.raises(ValueError):
             make_ratings_dataset(preset=None, n_users=10)

@@ -87,6 +87,22 @@ class TestClipRange:
             reconstruction_rating_rmse(reconstruction, dataset.ratings,
                                        dataset.observed_mask, clip_range=(5.0, 1.0))
 
+    def test_nan_clip_bounds_raise_instead_of_poisoning_predictions(self, tiny_ratings_dataset):
+        # Regression: `nan > nan` is False, so NaN bounds slipped past the
+        # misordered-range check and np.clip propagated NaN into every
+        # prediction (and thence into the reported RMSE).
+        dataset = tiny_ratings_dataset
+        _, test_mask = dataset.holdout_split(rng=0)
+        for bad in ((float("nan"), 5.0), (1.0, float("nan")),
+                    (float("nan"), float("nan")), (float("-inf"), float("inf"))):
+            with pytest.raises(ValueError, match="finite"):
+                rating_prediction_rmse(self._wild_model(dataset), dataset.ratings,
+                                       test_mask, clip_range=bad)
+            with pytest.raises(ValueError, match="finite"):
+                reconstruction_rating_rmse(
+                    IntervalMatrix.from_scalar(dataset.ratings), dataset.ratings,
+                    dataset.observed_mask, clip_range=bad)
+
     def test_degenerate_clip_range_allowed(self):
         reconstruction = IntervalMatrix.from_scalar(np.full((2, 2), 9.0))
         truth = np.full((2, 2), 3.0)

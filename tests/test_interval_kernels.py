@@ -1,0 +1,377 @@
+"""Tests of the pluggable interval-product kernel subsystem.
+
+The load-bearing facts checked here:
+
+* the paper's ``endpoint4`` construction under-covers on mixed-sign operands
+  (the ``[0, 0]`` vs ``[-4, 4]`` counterexample) — the confirmed bug the
+  kernel registry exists to make explicit and fixable;
+* ``exact`` is the interval hull (brute-force vertex enumeration agrees);
+* ``exact`` and ``rump`` enclose every Monte-Carlo-sampled realization of a
+  random interval product (the soundness property ``endpoint4`` lacks);
+* ``endpoint4`` equals ``exact`` on sign-consistent operands, which is why
+  the paper's figures are unaffected by the bug on non-negative data;
+* the kernel threads end to end: isvd, reconstruct, fold-in, engine.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.isvd import isvd
+from repro.core.reconstruct import reconstruct, reconstruct_target_a
+from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import (
+    DEFAULT_KERNEL,
+    KernelInfo,
+    available_kernels,
+    get_kernel,
+    kernel_infos,
+)
+from repro.interval.linalg import interval_dot, interval_matmul
+from repro.interval.random import random_interval_matrix
+from repro.interval.scalar import Interval, IntervalError
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The issue's counterexample: one interval row, one scalar column.
+COUNTER_A = IntervalMatrix([[-1.0, -1.0]], [[1.0, 1.0]])
+COUNTER_B = IntervalMatrix.from_scalar([[2.0], [-2.0]])
+
+
+def brute_force_hull(a: IntervalMatrix, b: IntervalMatrix):
+    """Interval hull of ``a @ b`` by enumerating every endpoint vertex.
+
+    Valid because the product is multilinear in the entries, so its extrema
+    over the box of member matrices are attained at vertices.  Exponential in
+    the number of entries — tiny shapes only.
+    """
+    lower = np.full((a.shape[0], b.shape[1]), np.inf)
+    upper = np.full((a.shape[0], b.shape[1]), -np.inf)
+    a_vertices = itertools.product(
+        *[(a.lower.flat[i], a.upper.flat[i]) for i in range(a.size)])
+    a_vertices = [np.array(v).reshape(a.shape) for v in a_vertices]
+    b_vertices = itertools.product(
+        *[(b.lower.flat[i], b.upper.flat[i]) for i in range(b.size)])
+    b_vertices = [np.array(v).reshape(b.shape) for v in b_vertices]
+    for am in a_vertices:
+        for bm in b_vertices:
+            product = am @ bm
+            lower = np.minimum(lower, product)
+            upper = np.maximum(upper, product)
+    return lower, upper
+
+
+interval_matrix_params = st.tuples(
+    st.integers(2, 6),       # rows
+    st.integers(2, 6),       # inner dim
+    st.integers(1, 5),       # cols
+    st.integers(0, 10_000),  # seed
+)
+
+
+def _random_pair(params, mixed_sign=True):
+    rows, inner, cols, seed = params
+    rng = np.random.default_rng(seed)
+    if mixed_sign:
+        a_lo = rng.normal(size=(rows, inner))
+        b_lo = rng.normal(size=(inner, cols))
+    else:  # guaranteed entrywise non-negative operands
+        a_lo = rng.random((rows, inner)) * 3.0
+        b_lo = rng.random((inner, cols)) * 3.0
+    a_hi = a_lo + rng.random((rows, inner)) * 2.0
+    b_hi = b_lo + rng.random((inner, cols)) * 2.0
+    return IntervalMatrix(a_lo, a_hi), IntervalMatrix(b_lo, b_hi), rng
+
+
+class TestRegistry:
+    def test_three_kernels_registered(self):
+        assert available_kernels() == ["endpoint4", "exact", "rump"]
+
+    def test_default_is_paper_faithful_endpoint4(self):
+        info = get_kernel(None)
+        assert info.key == DEFAULT_KERNEL == "endpoint4"
+        assert info.paper_faithful and not info.sound
+
+    def test_capability_metadata(self):
+        by_key = {info.key: info for info in kernel_infos()}
+        assert not by_key["endpoint4"].sound
+        assert by_key["exact"].sound and by_key["exact"].tight
+        assert by_key["rump"].sound and not by_key["rump"].tight
+        assert [i for i in kernel_infos() if i.paper_faithful] == [by_key["endpoint4"]]
+
+    def test_get_by_key_case_insensitive(self):
+        assert get_kernel("RUMP").key == "rump"
+
+    def test_get_passes_info_through(self):
+        info = get_kernel("exact")
+        assert get_kernel(info) is info
+
+    def test_unknown_kernel_raises_with_choices(self):
+        with pytest.raises(IntervalError, match="endpoint4"):
+            get_kernel("midpoint")
+
+    def test_infos_are_immutable(self):
+        with pytest.raises(AttributeError):
+            get_kernel("rump").sound = False
+
+
+class TestFourEndpointEnclosureBug:
+    """Regression: the confirmed under-coverage of the paper's construction."""
+
+    def test_endpoint4_collapses_to_degenerate_zero(self):
+        result = interval_matmul(COUNTER_A, COUNTER_B, kernel="endpoint4")
+        assert result.lower[0, 0] == 0.0 and result.upper[0, 0] == 0.0
+
+    def test_default_kernel_reproduces_the_bug(self):
+        # Byte-identical reproduction requires the default to stay endpoint4,
+        # bug included; this pins that contract.
+        result = interval_matmul(COUNTER_A, COUNTER_B)
+        assert result.lower[0, 0] == 0.0 and result.upper[0, 0] == 0.0
+
+    def test_exact_recovers_the_true_range(self):
+        result = interval_matmul(COUNTER_A, COUNTER_B, kernel="exact")
+        assert result.lower[0, 0] == -4.0 and result.upper[0, 0] == 4.0
+
+    def test_rump_encloses_the_true_range(self):
+        result = interval_matmul(COUNTER_A, COUNTER_B, kernel="rump")
+        assert result.lower[0, 0] <= -4.0 and result.upper[0, 0] >= 4.0
+
+    def test_monte_carlo_escapes_endpoint4(self):
+        rng = np.random.default_rng(42)
+        e4 = interval_matmul(COUNTER_A, COUNTER_B, kernel="endpoint4")
+        exact = interval_matmul(COUNTER_A, COUNTER_B, kernel="exact")
+        escaped = False
+        for _ in range(200):
+            sample = rng.uniform(COUNTER_A.lower, COUNTER_A.upper)
+            product = sample @ COUNTER_B.lower
+            assert exact.contains(IntervalMatrix.from_scalar(product), tol=1e-12)
+            if not e4.contains(IntervalMatrix.from_scalar(product), tol=1e-12):
+                escaped = True
+        assert escaped, "sampled products should fall outside the endpoint4 interval"
+
+
+class TestExactIsTheHull:
+    @settings(**COMMON_SETTINGS)
+    @given(st.tuples(st.integers(1, 2), st.integers(2, 3), st.integers(1, 2),
+                     st.integers(0, 10_000)))
+    def test_matches_brute_force_vertex_enumeration(self, params):
+        a, b, _ = _random_pair(params)
+        lower, upper = brute_force_hull(a, b)
+        result = interval_matmul(a, b, kernel="exact")
+        np.testing.assert_allclose(result.lower, lower, atol=1e-10)
+        np.testing.assert_allclose(result.upper, upper, atol=1e-10)
+
+
+class TestSoundnessProperty:
+    @settings(**COMMON_SETTINGS)
+    @given(interval_matrix_params, st.sampled_from(["exact", "rump"]))
+    def test_kernels_enclose_monte_carlo_realizations(self, params, kernel):
+        a, b, rng = _random_pair(params)
+        result = interval_matmul(a, b, kernel=kernel)
+        for _ in range(25):
+            a_sample = rng.uniform(a.lower, a.upper)
+            b_sample = rng.uniform(b.lower, b.upper)
+            product = IntervalMatrix.from_scalar(a_sample @ b_sample)
+            assert result.contains(product, tol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(interval_matrix_params)
+    def test_nesting_endpoint4_in_exact_in_rump(self, params):
+        a, b, _ = _random_pair(params)
+        e4 = interval_matmul(a, b, kernel="endpoint4")
+        exact = interval_matmul(a, b, kernel="exact")
+        rump = interval_matmul(a, b, kernel="rump")
+        # The four endpoint products are achievable member products, so the
+        # unsound interval sits inside the hull; rump over-approximates it.
+        assert exact.contains(e4, tol=1e-9)
+        assert rump.contains(exact, tol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(interval_matrix_params)
+    def test_all_kernels_valid_and_same_shape(self, params):
+        a, b, _ = _random_pair(params)
+        for kernel in available_kernels():
+            result = interval_matmul(a, b, kernel=kernel)
+            assert result.shape == (a.shape[0], b.shape[1])
+            assert result.is_valid()
+
+
+class TestSignConsistentEquivalence:
+    @settings(**COMMON_SETTINGS)
+    @given(interval_matrix_params)
+    def test_endpoint4_equals_exact_on_nonnegative_operands(self, params):
+        a, b, _ = _random_pair(params, mixed_sign=False)
+        assert (a.lower >= 0).all() and (b.lower >= 0).all()
+        e4 = interval_matmul(a, b, kernel="endpoint4")
+        exact = interval_matmul(a, b, kernel="exact")
+        assert e4.allclose(exact, atol=1e-10)
+
+    @settings(**COMMON_SETTINGS)
+    @given(interval_matrix_params)
+    def test_endpoint4_equals_exact_on_nonpositive_left_operand(self, params):
+        a, b, _ = _random_pair(params, mixed_sign=False)
+        a = IntervalMatrix(-a.upper, -a.lower)
+        e4 = interval_matmul(a, b, kernel="endpoint4")
+        exact = interval_matmul(a, b, kernel="exact")
+        assert e4.allclose(exact, atol=1e-10)
+
+    def test_degenerate_operands_all_kernels_agree_exactly(self):
+        rng = np.random.default_rng(5)
+        a = IntervalMatrix.from_scalar(rng.normal(size=(4, 3)))
+        b = IntervalMatrix.from_scalar(rng.normal(size=(3, 5)))
+        expected = a.lower @ b.lower
+        for kernel in available_kernels():
+            result = interval_matmul(a, b, kernel=kernel)
+            np.testing.assert_allclose(result.lower, expected, atol=1e-12)
+            np.testing.assert_allclose(result.upper, expected, atol=1e-12)
+
+
+class TestShapesAndPrimitives:
+    def test_vector_operands_match_numpy_shapes(self):
+        matrix = IntervalMatrix.from_scalar(np.arange(6.0).reshape(2, 3))
+        vector = IntervalMatrix.from_scalar(np.ones(3))
+        for kernel in available_kernels():
+            assert interval_matmul(matrix, vector, kernel=kernel).shape == (2,)
+        row = IntervalMatrix.from_scalar(np.ones(2))
+        for kernel in available_kernels():
+            assert interval_matmul(row, matrix, kernel=kernel).shape == (3,)
+
+    def test_interval_dot_default_is_exact(self):
+        x = IntervalMatrix(np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        y = IntervalMatrix.from_scalar(np.array([2.0, -2.0]))
+        assert interval_dot(x, y) == Interval(-4.0, 4.0)
+
+    def test_interval_dot_endpoint4_under_covers(self):
+        x = IntervalMatrix(np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        y = IntervalMatrix.from_scalar(np.array([2.0, -2.0]))
+        assert interval_dot(x, y, kernel="endpoint4") == Interval(0.0, 0.0)
+
+    def test_custom_matmul_primitive_is_honoured(self):
+        calls = []
+
+        def counting_matmul(x, y):
+            calls.append((x.shape, y.shape))
+            return np.matmul(x, y)
+
+        a, b, _ = _random_pair((3, 4, 2, 0))
+        for kernel in available_kernels():
+            baseline = interval_matmul(a, b, kernel=kernel)
+            calls.clear()
+            result = interval_matmul(a, b, matmul=counting_matmul, kernel=kernel)
+            assert calls, f"kernel {kernel} bypassed the custom matmul"
+            assert result.allclose(baseline)
+
+
+class TestEndToEndThreading:
+    def test_isvd_accepts_kernel_and_default_is_unchanged(self):
+        matrix = random_interval_matrix((10, 8), interval_density=1.0,
+                                        interval_intensity=0.8, rng=3)
+        default = isvd(matrix, 4, method="isvd4", target="a")
+        endpoint4 = isvd(matrix, 4, method="isvd4", target="a", kernel="endpoint4")
+        assert default.u.allclose(endpoint4.u, atol=0.0, rtol=0.0)
+        for kernel in ("exact", "rump"):
+            other = isvd(matrix, 4, method="isvd4", target="a", kernel=kernel)
+            assert other.shape == matrix.shape
+            assert other.u.sorted_endpoints().is_valid()
+
+    def test_sound_kernels_widen_isvd_u(self):
+        # Mixed-sign singular-vector inverses are exactly where endpoint4's
+        # cancellation bites, so sound kernels can only produce wider U.
+        matrix = random_interval_matrix((12, 9), interval_density=1.0,
+                                        interval_intensity=1.0, rng=11)
+        narrow = isvd(matrix, 3, method="isvd3", target="a", kernel="endpoint4")
+        wide = isvd(matrix, 3, method="isvd3", target="a", kernel="exact")
+        assert wide.u.mean_span() >= narrow.u.mean_span() - 1e-12
+
+    def test_reconstruct_accepts_kernel(self):
+        matrix = random_interval_matrix((8, 6), interval_density=1.0,
+                                        interval_intensity=0.5, rng=7)
+        decomposition = isvd(matrix, 3, method="isvd3", target="a")
+        default = reconstruct(decomposition)
+        assert default.allclose(reconstruct_target_a(decomposition, kernel="endpoint4"))
+        for kernel in ("exact", "rump"):
+            result = reconstruct(decomposition, kernel=kernel)
+            assert result.shape == matrix.shape
+            assert result.contains(default, tol=1e-9)
+
+    def test_registry_fit_threads_kernel_option(self):
+        from repro.core import registry
+
+        matrix = random_interval_matrix((9, 7), interval_density=1.0,
+                                        interval_intensity=0.8, rng=2)
+        info = registry.get("isvd4")
+        assert info.kernel_aware
+        via_registry = info.fit(matrix, 3, target="a", kernel="rump")
+        direct = isvd(matrix, 3, method="isvd4", target="a", kernel="rump")
+        assert via_registry.u.allclose(direct.u, atol=0.0, rtol=0.0)
+
+    def test_only_interval_product_methods_are_kernel_aware(self):
+        from repro.core import registry
+
+        aware = {info.key for info in registry.infos() if info.kernel_aware}
+        assert aware == {"isvd2", "isvd3", "isvd4"}
+
+    def test_foldin_latent_features_respect_kernel(self):
+        from repro.serve.foldin import FoldInProjector
+
+        matrix = random_interval_matrix((10, 8), interval_density=1.0,
+                                        interval_intensity=0.8, rng=4)
+        decomposition = isvd(matrix, 3, method="isvd3", target="a")
+        default = FoldInProjector(decomposition).latent_features(matrix.row(0))
+        rump = FoldInProjector(decomposition, kernel="rump").latent_features(matrix.row(0))
+        endpoint4 = FoldInProjector(decomposition, kernel="endpoint4")
+        assert default.allclose(endpoint4.latent_features(matrix.row(0)),
+                                atol=0.0, rtol=0.0)
+        assert rump.contains(default, tol=1e-9)
+
+    def test_engine_kernel_reaches_decompositions_and_cache_key(self, tmp_path):
+        from repro.experiments.engine import ExperimentEngine
+
+        matrix = random_interval_matrix((10, 8), interval_density=1.0,
+                                        interval_intensity=0.8, rng=9)
+        plain = ExperimentEngine(cache_dir=tmp_path)
+        rump = ExperimentEngine(cache_dir=tmp_path, kernel="rump")
+        base, hit = plain.decompose(matrix, "isvd4", 3, target="a")
+        assert not hit
+        widened, hit = rump.decompose(matrix, "isvd4", 3, target="a")
+        assert not hit, "kernel must be part of the cache key"
+        assert widened.u.mean_span() >= base.u.mean_span() - 1e-12
+        again, hit = rump.decompose(matrix, "isvd4", 3, target="a")
+        assert hit
+        assert again.u.allclose(widened.u)
+
+    def test_engine_normalizes_explicit_default_kernel(self, tmp_path):
+        from repro.experiments.engine import ExperimentEngine
+
+        matrix = random_interval_matrix((8, 6), interval_density=1.0,
+                                        interval_intensity=0.5, rng=6)
+        plain = ExperimentEngine(cache_dir=tmp_path)
+        explicit = ExperimentEngine(cache_dir=tmp_path, kernel="endpoint4")
+        assert explicit.kernel is None
+        plain.decompose(matrix, "isvd4", 3, target="a")
+        _, hit = explicit.decompose(matrix, "isvd4", 3, target="a")
+        assert hit, "explicit endpoint4 must reuse the default run's cache entries"
+
+    def test_engine_rejects_unknown_kernel_at_construction(self):
+        from repro.experiments.engine import ExperimentEngine
+
+        with pytest.raises(IntervalError, match="unknown interval kernel"):
+            ExperimentEngine(kernel="typo")
+
+    def test_engine_does_not_pass_kernel_to_unaware_methods(self):
+        from repro.experiments.engine import ExperimentEngine
+
+        matrix = random_interval_matrix((8, 6), interval_density=1.0,
+                                        interval_intensity=0.5, rng=1)
+        engine = ExperimentEngine(kernel="rump")
+        # isvd1 never forms interval products; the engine must not feed the
+        # option into its fit (nor poison its cache keys).
+        decomposition, _ = engine.decompose(matrix, "isvd1", 3, target="b")
+        assert decomposition.method == "ISVD1"

@@ -151,6 +151,18 @@ class TestInverseCore:
         with pytest.raises(IntervalError):
             inverse_core(sigma)
 
+    def test_misordered_diagonal_raises_instead_of_inverting(self):
+        # Regression: [5, 0] used to return 2 / (5 + 0) = 0.4 — inverting a
+        # non-interval and masking the upstream bug that produced it.
+        sigma = IntervalMatrix(np.diag([5.0]), np.diag([0.0]), check=False)
+        with pytest.raises(IntervalError, match="lower > upper"):
+            inverse_core(sigma)
+
+    def test_misordered_entry_among_valid_ones_raises(self):
+        sigma = IntervalMatrix(np.diag([1.0, 3.0]), np.diag([2.0, 1.0]), check=False)
+        with pytest.raises(IntervalError, match="1 diagonal entries"):
+            inverse_core(sigma)
+
     def test_requires_square(self):
         with pytest.raises(IntervalError):
             inverse_core(IntervalMatrix.zeros((2, 3)))
