@@ -79,7 +79,14 @@ def _load_matrix(args: argparse.Namespace) -> IntervalMatrix:
     raise SystemExit("provide --csv, --npz, or both --lower and --upper")
 
 
+#: Sparse inputs above this many logical cells skip the dense accuracy report
+#: instead of silently materializing a multi-gigabyte endpoint pair.
+_ACCURACY_DENSIFY_LIMIT = 4_000_000
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.interval.sparse import SparseIntervalMatrix, is_sparse_interval
+
     if args.save_model:
         # Fail on a bad name *before* spending minutes on the factorization.
         from repro.serve.store import ModelStore, ModelStoreError
@@ -89,6 +96,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         except ModelStoreError as error:
             raise SystemExit(str(error))
     matrix = _load_matrix(args)
+    if args.sparse and not is_sparse_interval(matrix):
+        matrix = SparseIntervalMatrix.from_dense(matrix)
     rank = args.rank or min(matrix.shape)
     rank = min(rank, min(matrix.shape))
     info = registry.get(args.method)
@@ -107,11 +116,22 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                                  **fit_options)
     except ValueError as error:  # RegistryError, non-negativity, rank bounds...
         raise SystemExit(str(error))
-    accuracy = harmonic_mean_accuracy(matrix, decomposition)
     print(decomposition.describe())
-    print(f"input shape: {matrix.shape}, mean interval width: {matrix.mean_span():.6g}")
+    if is_sparse_interval(matrix):
+        print(f"input shape: {matrix.shape}, stored cells: {matrix.nnz} "
+              f"(density {matrix.density:.4g}), mean interval width: "
+              f"{matrix.mean_span():.6g}")
+    else:
+        print(f"input shape: {matrix.shape}, mean interval width: {matrix.mean_span():.6g}")
     print(f"rank: {rank}")
-    print(f"H-mean reconstruction accuracy: {accuracy:.4f}")
+    if is_sparse_interval(matrix) and matrix.size > _ACCURACY_DENSIFY_LIMIT:
+        print("H-mean reconstruction accuracy: skipped "
+              f"(sparse input with {matrix.size} cells would densify; "
+              "score offline against a held-out sample instead)")
+    else:
+        scoring = matrix.to_dense() if is_sparse_interval(matrix) else matrix
+        accuracy = harmonic_mean_accuracy(scoring, decomposition)
+        print(f"H-mean reconstruction accuracy: {accuracy:.4f}")
     if args.output:
         repro_io.save_decomposition_npz(decomposition, args.output)
         print(f"factors written to {args.output}")
@@ -165,16 +185,38 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.datasets.anonymized import make_anonymized_matrix
     from repro.datasets.synthetic import SyntheticConfig, make_uniform_interval_matrix
 
+    if args.kind == "ratings":
+        from repro.datasets.ratings import make_sparse_rating_matrix
+
+        if not args.output.endswith(".npz"):
+            raise SystemExit("sparse ratings matrices require an .npz output path")
+        try:
+            matrix = make_sparse_rating_matrix(
+                preset=args.preset,
+                n_users=args.rows,
+                n_items=args.cols,
+                density=args.density,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+        repro_io.save_interval_npz(matrix, args.output)
+        print(f"sparse ratings interval matrix {matrix.shape} "
+              f"({matrix.nnz} cells, density {matrix.density:.4g}) "
+              f"written to {args.output}")
+        return 0
+    rows = args.rows if args.rows is not None else 40
+    cols = args.cols if args.cols is not None else 250
     if args.kind == "uniform":
         config = SyntheticConfig(
-            shape=(args.rows, args.cols),
+            shape=(rows, cols),
             interval_density=args.interval_density,
             interval_intensity=args.interval_intensity,
-            rank=min(args.rows, args.cols),
+            rank=min(rows, cols),
         )
         matrix = make_uniform_interval_matrix(config, rng=args.seed)
     else:
-        matrix = make_anonymized_matrix(shape=(args.rows, args.cols),
+        matrix = make_anonymized_matrix(shape=(rows, cols),
                                         profile=args.profile, rng=args.seed)
     if args.output.endswith(".npz"):
         repro_io.save_interval_npz(matrix, args.output)
@@ -213,13 +255,14 @@ def _cmd_list_methods(args: argparse.Namespace) -> int:
             "yes" if info.sound else "NO",
             "yes" if info.tight else "no",
             "yes" if info.paper_faithful else "no",
+            "yes" if info.sparse else "no",
             info.cost,
             info.summary,
         ]
         for info in kernel_infos()
     ]
     print(format_table(
-        ["kernel", "sound", "tight", "paper", "cost", "summary"],
+        ["kernel", "sound", "tight", "paper", "sparse", "cost", "summary"],
         kernel_rows, title="Interval-product kernels (--interval-kernel)",
     ))
     return 0
@@ -326,6 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--interval-kernel", default=None, choices=available_kernels(),
                            help="interval-product kernel for kernel-aware methods "
                                 f"(default: {DEFAULT_KERNEL}, the paper's construction)")
+    decompose.add_argument("--sparse", action="store_true",
+                           help="run in sparse representation: dense input is "
+                                "converted (cells with both endpoints 0 become "
+                                "implicit), sparse NPZ input stays sparse; the "
+                                "gram-based ISVD methods then execute in sparse "
+                                "BLAS without densifying")
     decompose.add_argument("--output", help="write the factors to this NPZ path")
     decompose.add_argument("--save-model", metavar="NAME",
                            help="publish the factors to the model store under this name")
@@ -351,10 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.set_defaults(handler=_cmd_experiment)
 
     generate = subparsers.add_parser("generate", help="write a synthetic interval matrix")
-    generate.add_argument("output", help="destination path (.csv or .npz)")
-    generate.add_argument("--kind", choices=["uniform", "anonymized"], default="uniform")
-    generate.add_argument("--rows", type=int, default=40)
-    generate.add_argument("--cols", type=int, default=250)
+    generate.add_argument("output", help="destination path (.csv or .npz; "
+                                         "ratings kind requires .npz)")
+    generate.add_argument("--kind", choices=["uniform", "anonymized", "ratings"],
+                          default="uniform",
+                          help="'ratings' writes a sparse per-rating interval "
+                               "matrix (CSR NPZ) generated without dense "
+                               "temporaries")
+    generate.add_argument("--rows", type=int, default=None,
+                          help="rows / users (default: 40, or the ratings preset)")
+    generate.add_argument("--cols", type=int, default=None,
+                          help="columns / items (default: 250, or the ratings preset)")
+    generate.add_argument("--density", type=float, default=None,
+                          help="observed-cell fraction for --kind ratings "
+                               "(default: the preset's)")
+    generate.add_argument("--preset", default="demo",
+                          help="scale preset for --kind ratings (demo, webscale, "
+                               "ciao, epinions, movielens; default: demo)")
     generate.add_argument("--interval-density", type=float, default=1.0)
     generate.add_argument("--interval-intensity", type=float, default=1.0)
     generate.add_argument("--profile", choices=["high", "medium", "low"], default="medium")

@@ -37,10 +37,12 @@ from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import KernelLike
 from repro.interval.linalg import (
     DEFAULT_CONDITION_THRESHOLD,
+    interval_gram,
     interval_matmul,
     inverse_core,
     safe_inverse,
 )
+from repro.interval.sparse import as_interval_operand, is_sparse_interval
 
 
 class ISVDError(ValueError):
@@ -169,25 +171,33 @@ def isvd1(
 # Shared eigen-decomposition step for ISVD2/3/4
 # --------------------------------------------------------------------------- #
 def _gram_eigendecompositions(
-    matrix: IntervalMatrix, rank: int, kernel: KernelLike = None
+    matrix: IntervalMatrix, rank: int, kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Eigen-decompose the interval Gram matrix ``A = M^T M`` (Section 4.3.1).
 
     Returns ``(A, V_lo, sigma_lo, V_hi, sigma_hi)`` where the sigma vectors are
     the square roots of the top-``r`` eigenvalues of ``A_lo`` and ``A_hi``.
-    ``kernel`` selects the interval-product kernel for the Gram step.
+    ``kernel`` selects the interval-product kernel for the Gram step; the
+    product runs through :func:`~repro.interval.linalg.interval_gram`, so a
+    sparse ``matrix`` never densifies and ``gram_block_rows`` bounds the dense
+    path's temporaries by accumulating over row chunks.
     """
-    gram = interval_matmul(matrix.T, matrix, kernel=kernel)
+    gram = interval_gram(matrix, kernel=kernel, block_rows=gram_block_rows)
     v_lo, s_lo = truncated_eigh(gram.lower, rank)
     v_hi, s_hi = truncated_eigh(gram.upper, rank)
     return gram, v_lo, s_lo, v_hi, s_hi
 
 
 def _recover_u_from_v(matrix: np.ndarray, v: np.ndarray, s: np.ndarray) -> np.ndarray:
-    """Recover left singular vectors via ``U = M (V^T)^+ Sigma^{-1}`` (Section 4.3.2)."""
+    """Recover left singular vectors via ``U = M (V^T)^+ Sigma^{-1}`` (Section 4.3.2).
+
+    ``matrix`` may be a scipy sparse endpoint matrix: ``sparse @ dense``
+    evaluates in sparse BLAS and yields the (dense, ``n x r``) result directly.
+    """
     s = np.asarray(s, dtype=float)
     s_inv = np.where(s > 0.0, 1.0 / np.where(s > 0.0, s, 1.0), 0.0)
-    return matrix @ np.linalg.pinv(v.T) @ np.diag(s_inv)
+    return np.asarray(matrix @ np.linalg.pinv(v.T)) @ np.diag(s_inv)
 
 
 # --------------------------------------------------------------------------- #
@@ -199,14 +209,16 @@ def isvd2(
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
     kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> IntervalDecomposition:
     """Eigen-decompose the interval Gram matrix, solve for U, then align (Alg. 9)."""
-    matrix = IntervalMatrix.coerce(matrix)
+    matrix = as_interval_operand(matrix)
     _validate_inputs(matrix, rank)
     timings: Dict[str, float] = {}
 
     start = time.perf_counter()
-    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank, kernel=kernel)
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(
+        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows)
     timings["preprocessing"] = 0.0
     timings["decomposition"] = time.perf_counter() - start
 
@@ -234,13 +246,15 @@ def isvd2(
 # ISVD3 — decompose, align, solve
 # --------------------------------------------------------------------------- #
 def _aligned_gram_factors(
-    matrix: IntervalMatrix, rank: int, align_method: str, kernel: KernelLike = None
+    matrix: IntervalMatrix, rank: int, align_method: str, kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, AlignmentResult, Dict[str, float]]:
     """Shared first phase of ISVD3/ISVD4: eigen-decompose, then align V and Sigma."""
     timings: Dict[str, float] = {"preprocessing": 0.0}
 
     start = time.perf_counter()
-    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(matrix, rank, kernel=kernel)
+    _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(
+        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows)
     timings["decomposition"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -283,13 +297,14 @@ def isvd3(
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> IntervalDecomposition:
     """Align the right factors first, then solve for U with interval algebra (Alg. 10)."""
-    matrix = IntervalMatrix.coerce(matrix)
+    matrix = as_interval_operand(matrix)
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method, kernel=kernel
+        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows
     )
 
     start = time.perf_counter()
@@ -319,17 +334,18 @@ def isvd4(
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> IntervalDecomposition:
     """ISVD3 plus a final recomputation of V from the recovered U (Alg. 11).
 
     The recomputation ``V = (Sigma^{-1} U^{-1} M)^T`` tightens the interval
     factor V because U inherits the alignment's precision (Section 4.5).
     """
-    matrix = IntervalMatrix.coerce(matrix)
+    matrix = as_interval_operand(matrix)
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method, kernel=kernel
+        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows
     )
 
     start = time.perf_counter()
@@ -364,13 +380,19 @@ def isvd(
     align_method: str = "hungarian",
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
+    gram_block_rows: Optional[int] = None,
 ) -> IntervalDecomposition:
     """Decompose an interval-valued matrix with the requested ISVD strategy.
 
     Parameters
     ----------
     matrix:
-        Interval matrix (or scalar ndarray, treated as degenerate intervals).
+        Interval matrix (or scalar ndarray, treated as degenerate intervals),
+        or a :class:`~repro.interval.sparse.SparseIntervalMatrix`.  The
+        gram-based strategies (ISVD2/3/4) execute sparse input through
+        scipy's sparse BLAS without ever materializing the dense endpoint
+        matrices; ISVD0/ISVD1 decompose the endpoint matrices directly and
+        densify sparse input first (their SVDs are dense).
     rank:
         Target rank ``r <= min(n, m)``.
     method:
@@ -389,6 +411,10 @@ def isvd(
         ISVD2/3/4 gram and factor-recovery products.  ``None`` keeps the
         paper-faithful ``endpoint4`` default; ISVD0/ISVD1 never form interval
         products, so they accept and ignore the parameter.
+    gram_block_rows:
+        Row-chunk size for the dense ISVD2/3/4 gram accumulation (see
+        :func:`~repro.interval.linalg.interval_gram`).  ``None`` (default)
+        keeps the unblocked, byte-identical product.
 
     Returns
     -------
@@ -397,7 +423,9 @@ def isvd(
     """
     method = ISVDMethod.coerce(method)
     target = DecompositionTarget.coerce(target)
-    matrix = IntervalMatrix.coerce(matrix)
+    matrix = as_interval_operand(matrix)
+    if is_sparse_interval(matrix) and method in (ISVDMethod.ISVD0, ISVDMethod.ISVD1):
+        matrix = matrix.to_dense()
 
     if method is ISVDMethod.ISVD0:
         if target is not DecompositionTarget.C:
@@ -407,13 +435,15 @@ def isvd(
         return isvd1(matrix, rank, target=target, align_method=align_method)
     if method is ISVDMethod.ISVD2:
         return isvd2(matrix, rank, target=target, align_method=align_method,
-                     kernel=kernel)
+                     kernel=kernel, gram_block_rows=gram_block_rows)
     if method is ISVDMethod.ISVD3:
         return isvd3(
             matrix, rank, target=target, align_method=align_method,
             condition_threshold=condition_threshold, kernel=kernel,
+            gram_block_rows=gram_block_rows,
         )
     return isvd4(
         matrix, rank, target=target, align_method=align_method,
         condition_threshold=condition_threshold, kernel=kernel,
+        gram_block_rows=gram_block_rows,
     )

@@ -51,6 +51,7 @@ from repro.core.ipmf import AIPMF, IPMF, PMF
 from repro.core.isvd import isvd
 from repro.core.result import DecompositionTarget, IntervalDecomposition
 from repro.interval.array import IntervalMatrix
+from repro.interval.sparse import as_interval_operand, is_sparse_interval
 
 
 class RegistryError(ValueError):
@@ -85,6 +86,7 @@ class FactorizerInfo:
     stochastic: bool = False
     requires_nonnegative: bool = False
     kernel_aware: bool = False
+    sparse_aware: bool = False
     _fit: Callable[..., IntervalDecomposition] = field(repr=False, default=None)
 
     def supports_target(self, target: Union[str, DecompositionTarget]) -> bool:
@@ -105,6 +107,12 @@ class FactorizerInfo:
         the method cannot emit raises :class:`RegistryError`.  ``seed`` feeds
         the random initialization of stochastic methods and is ignored by
         deterministic ones, so the experiment engine can pass it uniformly.
+
+        A :class:`~repro.interval.sparse.SparseIntervalMatrix` passes through
+        untouched to ``sparse_aware`` methods (the gram-based ISVD family,
+        which executes it in sparse BLAS) and is densified for every other
+        method — their update rules are inherently dense, so the conversion
+        only moves the memory cost to the call boundary where it is visible.
         """
         if target is None:
             target = self.default_target
@@ -114,7 +122,9 @@ class FactorizerInfo:
                 f"method {self.key!r} supports decomposition targets "
                 f"{'/'.join(self.targets)}, not {target!r}"
             )
-        matrix = IntervalMatrix.coerce(matrix)
+        matrix = as_interval_operand(matrix)
+        if is_sparse_interval(matrix) and not self.sparse_aware:
+            matrix = matrix.to_dense()
         return self._fit(matrix, rank, target=target, seed=seed, **options)
 
 
@@ -188,19 +198,19 @@ register(FactorizerInfo(
 ))
 register(FactorizerInfo(
     key="isvd2", display_name="ISVD2", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True,
     summary="Gram eigen-decomposition, solve U, then align (Alg. 9)",
     _fit=_isvd_fit("isvd2"),
 ))
 register(FactorizerInfo(
     key="isvd3", display_name="ISVD3", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True,
     summary="align first, then solve U with interval algebra (Alg. 10)",
     _fit=_isvd_fit("isvd3"),
 ))
 register(FactorizerInfo(
     key="isvd4", display_name="ISVD4", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True,
     summary="ISVD3 plus V recomputation; the paper's best strategy (Alg. 11)",
     _fit=_isvd_fit("isvd4"),
 ))

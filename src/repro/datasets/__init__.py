@@ -20,9 +20,12 @@ from repro.datasets.faces import FaceDataset, make_face_dataset
 from repro.datasets.ratings import (
     RatingsDataset,
     make_ratings_dataset,
+    make_sparse_rating_matrix,
     user_category_interval_matrix,
     rating_interval_matrix,
+    sparse_rating_interval_matrix,
     SOCIAL_MEDIA_PRESETS,
+    SPARSE_SCALE_PRESETS,
 )
 
 __all__ = [
@@ -37,7 +40,10 @@ __all__ = [
     "make_face_dataset",
     "RatingsDataset",
     "make_ratings_dataset",
+    "make_sparse_rating_matrix",
     "user_category_interval_matrix",
     "rating_interval_matrix",
+    "sparse_rating_interval_matrix",
     "SOCIAL_MEDIA_PRESETS",
+    "SPARSE_SCALE_PRESETS",
 ]

@@ -71,18 +71,27 @@ class IntervalKMeans:
 
     def _lloyd(self, points: np.ndarray, centers: np.ndarray) -> tuple:
         labels = np.zeros(points.shape[0], dtype=int)
+        points_sq = (points**2).sum(axis=1, keepdims=True)
         for _ in range(self.max_iter):
             distances = (
-                (points**2).sum(axis=1, keepdims=True)
+                points_sq
                 - 2.0 * points @ centers.T
                 + (centers**2).sum(axis=1)
             )
             labels = np.argmin(distances, axis=1)
-            new_centers = centers.copy()
-            for k in range(self.n_clusters):
-                members = points[labels == k]
-                if members.shape[0] > 0:
-                    new_centers[k] = members.mean(axis=0)
+            # Centroid update as one membership matmul instead of a Python
+            # loop over clusters: sums = Mᵀ points with M the one-hot
+            # membership matrix; empty clusters keep their previous center,
+            # exactly as the per-cluster loop did.
+            membership = (labels[:, np.newaxis]
+                          == np.arange(self.n_clusters)).astype(points.dtype)
+            counts = membership.sum(axis=0)
+            sums = membership.T @ points
+            new_centers = np.where(
+                counts[:, np.newaxis] > 0,
+                sums / np.maximum(counts, 1.0)[:, np.newaxis],
+                centers,
+            )
             movement = float(np.linalg.norm(new_centers - centers))
             centers = new_centers
             if movement <= self.tol:

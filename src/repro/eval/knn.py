@@ -21,6 +21,13 @@ from repro.interval.array import IntervalMatrix
 
 Features = Union[np.ndarray, IntervalMatrix]
 
+__all__ = [
+    "IntervalNearestNeighbor",
+    "nn_classification_f1",
+    "pairwise_interval_distances",
+    "reference_squared_norms",
+]
+
 
 def _as_endpoint_features(features: Features) -> np.ndarray:
     """Stack lower and upper endpoints side by side as scalar features.
@@ -36,13 +43,20 @@ def _as_endpoint_features(features: Features) -> np.ndarray:
 
 
 def pairwise_interval_distances(queries: Features, references: Features,
-                                matmul=None) -> np.ndarray:
+                                matmul=None,
+                                references_sq: Optional[np.ndarray] = None) -> np.ndarray:
     """Matrix of interval Euclidean distances between query and reference rows.
 
     ``matmul`` overrides the kernel of the cross-term product (default
     ``numpy.matmul``); the serving layer passes a batch-size-invariant kernel
     so a query row's distances do not depend on how many rows it was stacked
     with.  The squared-norm terms are per-row reductions and invariant as is.
+
+    ``references_sq`` is a fast-path argument for callers that query one
+    fixed reference set repeatedly (the serving engine, the NN classifier):
+    pass ``(_as_endpoint_features(references)**2).sum(axis=1)`` computed once
+    at fit time and the per-row reference norms are not recomputed on every
+    query batch.  The array must have one entry per reference row.
     """
     if matmul is None:
         matmul = np.matmul
@@ -50,12 +64,32 @@ def pairwise_interval_distances(queries: Features, references: Features,
     reference_points = _as_endpoint_features(references)
     if query_points.shape[1] != reference_points.shape[1]:
         raise ValueError("query and reference features must have the same width")
+    if references_sq is None:
+        references_sq = (reference_points**2).sum(axis=1)
+    else:
+        references_sq = np.asarray(references_sq, dtype=float)
+        if references_sq.shape != (reference_points.shape[0],):
+            raise ValueError(
+                f"references_sq must have shape ({reference_points.shape[0]},), "
+                f"got {references_sq.shape}"
+            )
     squared = (
         (query_points**2).sum(axis=1, keepdims=True)
         - 2.0 * matmul(query_points, reference_points.T)
-        + (reference_points**2).sum(axis=1)
+        + references_sq
     )
     return np.sqrt(np.clip(squared, 0.0, None))
+
+
+def reference_squared_norms(references: Features) -> np.ndarray:
+    """Per-row squared norms of stacked endpoint features, for caching.
+
+    The value :func:`pairwise_interval_distances` accepts as
+    ``references_sq``; compute it once per reference set instead of once per
+    query batch.
+    """
+    points = _as_endpoint_features(references)
+    return (points**2).sum(axis=1)
 
 
 class IntervalNearestNeighbor:
@@ -63,16 +97,23 @@ class IntervalNearestNeighbor:
 
     def __init__(self) -> None:
         self._features: Optional[np.ndarray] = None
+        self._features_sq: Optional[np.ndarray] = None
         self._labels: Optional[np.ndarray] = None
 
     def fit(self, features: Features, labels: np.ndarray) -> "IntervalNearestNeighbor":
-        """Store the training rows and their labels."""
+        """Store the training rows, their labels, and their squared norms.
+
+        The reference squared norms are fixed once the classifier is fitted,
+        so they are cached here instead of being recomputed by every
+        :meth:`predict` batch.
+        """
         self._features = _as_endpoint_features(features)
         self._labels = np.asarray(labels)
         if self._features.shape[0] != self._labels.shape[0]:
             raise ValueError("number of feature rows and labels must match")
         if self._features.shape[0] == 0:
             raise ValueError("training set must not be empty")
+        self._features_sq = (self._features**2).sum(axis=1)
         return self
 
     def predict(self, features: Features) -> np.ndarray:
@@ -83,7 +124,7 @@ class IntervalNearestNeighbor:
         squared = (
             (queries**2).sum(axis=1, keepdims=True)
             - 2.0 * queries @ self._features.T
-            + (self._features**2).sum(axis=1)
+            + self._features_sq
         )
         nearest = np.argmin(squared, axis=1)
         return self._labels[nearest]

@@ -39,6 +39,7 @@ from repro.core import registry
 from repro.core.accuracy import harmonic_mean_accuracy
 from repro.core.result import IntervalDecomposition
 from repro.interval.array import IntervalMatrix
+from repro.interval.sparse import as_interval_operand, is_sparse_interval
 
 PathLike = Union[str, Path]
 
@@ -159,6 +160,8 @@ class DecompositionCache:
     @staticmethod
     def _option_token(value: object) -> str:
         """Stable string for one fit option (repr truncates large arrays)."""
+        if is_sparse_interval(value):
+            return f"sparse-interval:{repro_io.interval_fingerprint(value)}"
         if isinstance(value, IntervalMatrix):
             return f"interval:{repro_io.interval_fingerprint(value)}"
         if isinstance(value, np.ndarray):
@@ -313,11 +316,17 @@ class ExperimentEngine:
         ``fingerprint`` lets grid runs pass a precomputed data fingerprint so
         the matrix is not re-hashed for every spec.  A stochastic method with
         no seed is a fresh random draw each call, so it is never cached.
+
+        Sparse matrices pass through untouched (sparse-aware methods execute
+        them in sparse BLAS; others densify at the registry boundary) and
+        fingerprint via their CSR representation — a sparse matrix never
+        shares cache entries with its dense equivalent, because the two
+        representations take different execution paths.
         """
         info = registry.get(method)
         if target is None:
             target = info.default_target
-        matrix = IntervalMatrix.coerce(matrix)
+        matrix = as_interval_operand(matrix)
         if self.kernel is not None and info.kernel_aware:
             options.setdefault("kernel", self.kernel)
 

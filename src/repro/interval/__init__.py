@@ -14,6 +14,11 @@ the paper-faithful ``endpoint4`` construction stays the default, with sound
 
 from repro.interval.scalar import Interval
 from repro.interval.array import IntervalMatrix
+from repro.interval.sparse import (
+    SparseIntervalMatrix,
+    as_interval_operand,
+    is_sparse_interval,
+)
 from repro.interval.kernels import (
     DEFAULT_KERNEL,
     KernelInfo,
@@ -21,9 +26,11 @@ from repro.interval.kernels import (
     get_kernel,
     kernel_infos,
     register_kernel,
+    resolve_mixed_chunk_elements,
 )
 from repro.interval.linalg import (
     interval_matmul,
+    interval_gram,
     average_replacement_matrix,
     average_replacement_vector,
     inverse_core,
@@ -39,13 +46,18 @@ from repro.interval.random import (
 __all__ = [
     "Interval",
     "IntervalMatrix",
+    "SparseIntervalMatrix",
+    "as_interval_operand",
+    "is_sparse_interval",
     "DEFAULT_KERNEL",
     "KernelInfo",
     "available_kernels",
     "get_kernel",
     "kernel_infos",
     "register_kernel",
+    "resolve_mixed_chunk_elements",
     "interval_matmul",
+    "interval_gram",
     "average_replacement_matrix",
     "average_replacement_vector",
     "inverse_core",

@@ -44,29 +44,62 @@ kernel="rump")``, or ``--interval-kernel`` on the CLI.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.interval.array import IntervalMatrix
 from repro.interval.scalar import IntervalError
+from repro.interval.sparse import SparseIntervalMatrix, is_sparse_interval
 
 #: The paper's construction stays the default so reproduction outputs are
 #: byte-identical to the seed implementation.
 DEFAULT_KERNEL = "endpoint4"
 
-#: Upper bound on the elements of one (n, chunk, p) temporary in the exact
-#: kernel's mixed x mixed correction (~32 MB of float64 per temporary).
+#: Default upper bound on the elements of one (n, chunk, p) temporary in the
+#: exact kernel's mixed x mixed correction (~32 MB of float64 per temporary).
+#: Override per call (``mixed_chunk_elements=``) or process-wide via the
+#: ``REPRO_MIXED_CHUNK_ELEMENTS`` environment variable.
 _MIXED_CHUNK_ELEMENTS = 4_000_000
 
-#: Kernel callable: (a, b, scalar_matmul) -> (lower, upper) endpoint arrays.
-ProductFn = Callable[[IntervalMatrix, IntervalMatrix, Callable], Tuple[np.ndarray, np.ndarray]]
+#: Environment variable overriding :data:`_MIXED_CHUNK_ELEMENTS`.
+MIXED_CHUNK_ENV = "REPRO_MIXED_CHUNK_ELEMENTS"
+
+
+def resolve_mixed_chunk_elements(override: Optional[int] = None) -> int:
+    """Effective chunk bound: explicit override, else env var, else default.
+
+    Raises :class:`~repro.interval.scalar.IntervalError` for non-positive or
+    unparseable values so a bad tuning knob fails loudly at the call site.
+    """
+    if override is None:
+        text = os.environ.get(MIXED_CHUNK_ENV, "").strip()
+        if not text:
+            return _MIXED_CHUNK_ELEMENTS
+        try:
+            override = int(text)
+        except ValueError:
+            raise IntervalError(
+                f"{MIXED_CHUNK_ENV}={text!r} is not an integer"
+            ) from None
+    override = int(override)
+    if override < 1:
+        raise IntervalError(
+            f"mixed chunk elements must be a positive integer, got {override}"
+        )
+    return override
+
+
+#: Kernel callable: (a, b, scalar_matmul, mixed_chunk_elements) -> (lower, upper).
+ProductFn = Callable[..., Tuple[np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
 class KernelInfo:
-    """One registered interval-product kernel: capability metadata + callable.
+    """One registered interval-product kernel: capability metadata + callables.
 
     Attributes
     ----------
@@ -85,6 +118,11 @@ class KernelInfo:
         paths must keep this one to stay byte-identical.
     cost:
         Coarse cost class, e.g. ``"4 blas"`` or ``"blas + O(nmp) mixed"``.
+    sparse:
+        True when the kernel executes :class:`SparseIntervalMatrix` operands
+        through scipy's sparse BLAS instead of densifying them.  Kernels
+        without sparse support raise on sparse operands rather than silently
+        materializing a dense copy.
     """
 
     key: str
@@ -93,19 +131,76 @@ class KernelInfo:
     tight: bool
     paper_faithful: bool
     cost: str
+    sparse: bool = False
     _product: ProductFn = field(repr=False, default=None)
+    _sparse_product: Optional[Callable] = field(repr=False, default=None)
+    _gram: Optional[Callable] = field(repr=False, default=None)
 
-    def product(self, a: IntervalMatrix, b: IntervalMatrix,
-                matmul: Optional[Callable] = None) -> Tuple[np.ndarray, np.ndarray]:
+    def product(self, a, b, matmul: Optional[Callable] = None,
+                mixed_chunk_elements: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Endpoint arrays of ``a @ b`` under this kernel.
 
         ``matmul`` overrides the scalar product primitive (default
         ``numpy.matmul``); the serving layer passes its batch-size-invariant
-        einsum so micro-batching never changes served bytes.
+        einsum so micro-batching never changes served bytes.  Sparse operands
+        route through scipy's sparse BLAS (``matmul`` does not apply there);
+        when both operands are sparse the returned endpoints are sparse too.
+        ``mixed_chunk_elements`` tunes the ``exact`` kernel's mixed x mixed
+        chunking; other kernels ignore it.
+        """
+        if is_sparse_interval(a) or is_sparse_interval(b):
+            if self._sparse_product is None:
+                supported = ", ".join(sorted(
+                    key for key, info in _KERNELS.items() if info.sparse))
+                raise IntervalError(
+                    f"kernel {self.key!r} has no sparse execution; densify the "
+                    f"operands with .to_dense() or use one of: {supported}"
+                )
+            return self._sparse_product(a, b)
+        if matmul is None:
+            matmul = np.matmul
+        if mixed_chunk_elements is None:
+            # Three-argument call keeps kernels registered against the PR-3
+            # ProductFn contract working; the built-ins default the kwarg.
+            return self._product(a, b, matmul)
+        return self._product(a, b, matmul,
+                             mixed_chunk_elements=mixed_chunk_elements)
+
+    def gram(self, matrix, matmul: Optional[Callable] = None,
+             block_rows: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense endpoint arrays of the Gram product ``matrix.T @ matrix``.
+
+        The ISVD2/3/4 hot path.  Kernels with a dedicated gram routine
+        (``endpoint4``, ``rump``) support two executions beyond the plain
+        product:
+
+        * **sparse** — ``matrix`` may be a :class:`SparseIntervalMatrix`; the
+          endpoint products run in scipy's sparse BLAS and only the (small,
+          dense) ``m x m`` results are materialized;
+        * **blocked** — with ``block_rows`` set, dense endpoint products
+          accumulate over row chunks of ``matrix``, so no more than four
+          ``m x m`` accumulators plus one chunk's temporaries are live at
+          once (instead of four full products plus their stacked copy).
+          Blockwise accumulation regroups the inner-dimension sum, which is
+          algebraically exact for ``endpoint4`` (min/max happens after the
+          full sum) and for ``rump`` (center/radius are sums of per-row
+          outer products); floating-point results may differ from the
+          unblocked path in the last ulp.
+
+        ``block_rows=None`` (default) reproduces the unblocked product byte
+        for byte.  Kernels without a gram routine fall back to
+        ``product(matrix.T, matrix)`` and reject ``block_rows``.
         """
         if matmul is None:
             matmul = np.matmul
-        return self._product(a, b, matmul)
+        if self._gram is not None:
+            return self._gram(matrix, matmul, block_rows)
+        if block_rows is not None:
+            raise IntervalError(
+                f"kernel {self.key!r} has no blocked gram path; leave "
+                "block_rows unset"
+            )
+        return self.product(matrix.T, matrix, matmul=matmul)
 
 
 _KERNELS: Dict[str, KernelInfo] = {}
@@ -151,8 +246,9 @@ def kernel_infos() -> List[KernelInfo]:
 # --------------------------------------------------------------------------- #
 # endpoint4 — the paper's four-endpoint construction (supplementary Alg. 1)
 # --------------------------------------------------------------------------- #
-def _endpoint4_product(a: IntervalMatrix, b: IntervalMatrix,
-                       matmul: Callable) -> Tuple[np.ndarray, np.ndarray]:
+def _endpoint4_product(a: IntervalMatrix, b: IntervalMatrix, matmul: Callable,
+                       mixed_chunk_elements: Optional[int] = None,
+                       ) -> Tuple[np.ndarray, np.ndarray]:
     products = (
         matmul(a.lower, b.lower),
         matmul(a.lower, b.upper),
@@ -163,11 +259,76 @@ def _endpoint4_product(a: IntervalMatrix, b: IntervalMatrix,
     return stacked.min(axis=0), stacked.max(axis=0)
 
 
+def _endpoint4_sparse_product(a, b) -> Tuple[np.ndarray, np.ndarray]:
+    """Four endpoint products with at least one sparse operand.
+
+    sparse x dense (either order) yields dense ndarrays from scipy's sparse
+    BLAS and reduces with the dense min/max.  sparse x sparse stays sparse end
+    to end: the elementwise ``minimum``/``maximum`` of the four sparse
+    products treats absent cells as 0, exactly like the dense reduction over
+    a structurally-zero column.
+    """
+    products = (
+        a.lower @ b.lower,
+        a.lower @ b.upper,
+        a.upper @ b.lower,
+        a.upper @ b.upper,
+    )
+    if all(sp.issparse(product) for product in products):
+        first, *rest = products
+        lower = upper = first
+        for product in rest:
+            lower = lower.minimum(product)
+            upper = upper.maximum(product)
+        return lower.tocsr(), upper.tocsr()
+    stacked = np.stack([np.asarray(product) for product in products])
+    return stacked.min(axis=0), stacked.max(axis=0)
+
+
+def _endpoint4_gram(m, matmul: Callable,
+                    block_rows: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Gram-product specialization: sparse BLAS input, optional row blocking."""
+    # The two cross endpoint products of a Gram matrix are mutual transposes
+    # (LᵀU = (UᵀL)ᵀ — same summand products, reassociated), so the sparse and
+    # blocked paths compute one and transpose it: 3 products instead of 4.
+    if is_sparse_interval(m):
+        lower_t = m.lower.T.tocsr()
+        upper_t = m.upper.T.tocsr()
+        cross = (lower_t @ m.upper).toarray()
+        stacked = np.stack([
+            (lower_t @ m.lower).toarray(),
+            cross,
+            cross.T,
+            (upper_t @ m.upper).toarray(),
+        ])
+        return stacked.min(axis=0), stacked.max(axis=0)
+    lower, upper = m.lower, m.upper
+    n = lower.shape[0]
+    if block_rows is None or block_rows >= n:
+        return _endpoint4_product(m.T, m, matmul)
+    if block_rows < 1:
+        raise IntervalError(f"block_rows must be >= 1, got {block_rows}")
+    width = lower.shape[1]
+    acc_ll = np.zeros((width, width))
+    acc_cross = np.zeros((width, width))
+    acc_uu = np.zeros((width, width))
+    for start in range(0, n, block_rows):
+        stop = start + block_rows
+        lower_block = lower[start:stop]
+        upper_block = upper[start:stop]
+        acc_ll += matmul(lower_block.T, lower_block)
+        acc_cross += matmul(lower_block.T, upper_block)
+        acc_uu += matmul(upper_block.T, upper_block)
+    candidates = (acc_ll, acc_cross, acc_cross.T, acc_uu)
+    return np.minimum.reduce(candidates), np.maximum.reduce(candidates)
+
+
 # --------------------------------------------------------------------------- #
 # exact — sign-class decomposition of the interval hull
 # --------------------------------------------------------------------------- #
-def _exact_product(a: IntervalMatrix, b: IntervalMatrix,
-                   matmul: Callable) -> Tuple[np.ndarray, np.ndarray]:
+def _exact_product(a: IntervalMatrix, b: IntervalMatrix, matmul: Callable,
+                   mixed_chunk_elements: Optional[int] = None,
+                   ) -> Tuple[np.ndarray, np.ndarray]:
     # The hull needs per-summand case analysis, so 1-D operands are promoted
     # to matrices and the result squeezed back to numpy.matmul's shape.
     al, au = np.atleast_2d(a.lower), np.atleast_2d(a.upper)
@@ -206,24 +367,31 @@ def _exact_product(a: IntervalMatrix, b: IntervalMatrix,
     upper += matmul(an_u, bl_pos) + matmul(an_l, bl_neg)
 
     # Mixed A entries against sign-consistent B entries are still one product
-    # per bound:  b >= 0: [al*bu, au*bu];  b <= 0: [au*bl, al*bl].
-    am_l, am_u = np.where(a_mix, al, 0.0), np.where(a_mix, au, 0.0)
-    bp_u = np.where(b_pos, bu, 0.0)
-    bn_l = np.where(b_neg, bl, 0.0)
-    lower += matmul(am_l, bp_u) + matmul(am_u, bn_l)
-    upper += matmul(am_u, bp_u) + matmul(am_l, bn_l)
+    # per bound:  b >= 0: [al*bu, au*bu];  b <= 0: [au*bl, al*bl].  When A has
+    # no mixed entry at all, every one of these operands is the zero matrix,
+    # so the four matmuls (and the mixed x mixed correction below) are skipped
+    # outright — sign-consistent left operands pay for 8 BLAS calls, not 12.
+    a_has_mixed = bool(a_mix.any())
+    if a_has_mixed:
+        am_l, am_u = np.where(a_mix, al, 0.0), np.where(a_mix, au, 0.0)
+        bp_u = np.where(b_pos, bu, 0.0)
+        bn_l = np.where(b_neg, bl, 0.0)
+        lower += matmul(am_l, bp_u) + matmul(am_u, bn_l)
+        upper += matmul(am_u, bp_u) + matmul(am_l, bn_l)
 
     # Mixed x mixed is the irreducible part: the bound is a per-summand
     # min/max of two products — [min(al*bu, au*bl), max(al*bl, au*bu)] — and
     # cannot be expressed with a constant number of matmuls.  Entries outside
     # the mixed classes are zeroed, so their min/max contributions vanish and
-    # no boolean masking is needed inside the chunk loop.
-    if a_mix.any() and b_mix.any():
+    # no boolean masking is needed inside the chunk loop.  The chunk bound is
+    # tunable: ``mixed_chunk_elements`` keyword, else REPRO_MIXED_CHUNK_ELEMENTS.
+    if a_has_mixed and b_mix.any():
         bm_l = np.where(b_mix, bl, 0.0)
         bm_u = np.where(b_mix, bu, 0.0)
         columns = np.flatnonzero(a_mix.any(axis=0) & b_mix.any(axis=1))
         n, p = al.shape[0], bl.shape[1]
-        step = max(1, int(_MIXED_CHUNK_ELEMENTS // max(1, n * p)))
+        chunk = resolve_mixed_chunk_elements(mixed_chunk_elements)
+        step = max(1, int(chunk // max(1, n * p)))
         for start in range(0, columns.size, step):
             j = columns[start:start + step]
             a_lo = am_l[:, j][:, :, np.newaxis]
@@ -243,8 +411,9 @@ def _exact_product(a: IntervalMatrix, b: IntervalMatrix,
 # --------------------------------------------------------------------------- #
 # rump — midpoint-radius fast enclosure (Rump 1999)
 # --------------------------------------------------------------------------- #
-def _rump_product(a: IntervalMatrix, b: IntervalMatrix,
-                  matmul: Callable) -> Tuple[np.ndarray, np.ndarray]:
+def _rump_product(a: IntervalMatrix, b: IntervalMatrix, matmul: Callable,
+                  mixed_chunk_elements: Optional[int] = None,
+                  ) -> Tuple[np.ndarray, np.ndarray]:
     a_center, a_radius = a.midpoint(), a.radius()
     b_center, b_radius = b.midpoint(), b.radius()
     center = matmul(a_center, b_center)
@@ -255,21 +424,76 @@ def _rump_product(a: IntervalMatrix, b: IntervalMatrix,
     return center - radius, center + radius
 
 
+def _rump_sparse_product(a, b) -> Tuple[np.ndarray, np.ndarray]:
+    """Midpoint-radius enclosure with at least one sparse operand.
+
+    Midpoint/radius of a sparse operand share its sparsity pattern, so the
+    whole construction runs in scipy's sparse BLAS.  sparse x sparse keeps the
+    endpoints sparse (``center ± radius``); a dense partner makes the result
+    dense, as with the scalar product.
+    """
+    a_center, a_radius = a.midpoint(), a.radius()
+    b_center, b_radius = b.midpoint(), b.radius()
+    center = a_center @ b_center
+    radius = abs(a_center) @ b_radius + a_radius @ (abs(b_center) + b_radius)
+    if sp.issparse(center) and sp.issparse(radius):
+        return (center - radius).tocsr(), (center + radius).tocsr()
+    center = np.asarray(center)
+    radius = np.asarray(radius)
+    return center - radius, center + radius
+
+
+def _rump_gram(m, matmul: Callable,
+               block_rows: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Gram-product specialization of ``rump``: sparse input, row blocking."""
+    if is_sparse_interval(m):
+        center, radius = m.midpoint(), m.radius()
+        center_t = center.T.tocsr()
+        radius_t = radius.T.tocsr()
+        gram_center = (center_t @ center).toarray()
+        gram_radius = (abs(center_t) @ radius).toarray() + (
+            radius_t @ (abs(center) + radius)).toarray()
+        return gram_center - gram_radius, gram_center + gram_radius
+    n = m.lower.shape[0]
+    if block_rows is None or block_rows >= n:
+        return _rump_product(m.T, m, matmul)
+    if block_rows < 1:
+        raise IntervalError(f"block_rows must be >= 1, got {block_rows}")
+    width = m.lower.shape[1]
+    gram_center = np.zeros((width, width))
+    gram_radius = np.zeros((width, width))
+    center, radius = m.midpoint(), m.radius()
+    for start in range(0, n, block_rows):
+        stop = start + block_rows
+        center_block = center[start:stop]
+        radius_block = radius[start:stop]
+        abs_center = np.abs(center_block)
+        gram_center += matmul(center_block.T, center_block)
+        gram_radius += matmul(abs_center.T, radius_block) + matmul(
+            radius_block.T, abs_center + radius_block)
+    return gram_center - gram_radius, gram_center + gram_radius
+
+
 register_kernel(KernelInfo(
     key="endpoint4",
     summary="paper's four-endpoint-product min/max (Alg. 1); unsound on mixed signs",
-    sound=False, tight=False, paper_faithful=True, cost="4 blas",
+    sound=False, tight=False, paper_faithful=True, cost="4 blas", sparse=True,
     _product=_endpoint4_product,
+    _sparse_product=_endpoint4_sparse_product,
+    _gram=_endpoint4_gram,
 ))
 register_kernel(KernelInfo(
     key="exact",
     summary="sign-class-decomposed interval hull; tightest, O(nmp) on mixed x mixed",
     sound=True, tight=True, paper_faithful=False, cost="12 blas + O(nmp) mixed",
+    sparse=False,
     _product=_exact_product,
 ))
 register_kernel(KernelInfo(
     key="rump",
     summary="midpoint-radius enclosure (Rump); sound, 3 blas, slightly wider",
-    sound=True, tight=False, paper_faithful=False, cost="3 blas",
+    sound=True, tight=False, paper_faithful=False, cost="3 blas", sparse=True,
     _product=_rump_product,
+    _sparse_product=_rump_sparse_product,
+    _gram=_rump_gram,
 ))

@@ -14,15 +14,17 @@ guarded (pseudo-)inverse used by ISVD3/ISVD4 (Section 4.4.2.2).
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.scalar import Interval, IntervalError
+from repro.interval.sparse import SparseIntervalMatrix, as_interval_operand
 
-MatrixLike = Union[IntervalMatrix, np.ndarray]
+MatrixLike = Union[IntervalMatrix, SparseIntervalMatrix, np.ndarray]
 
 #: Singular values below this fraction of the largest one are zeroed when the
 #: paper's pseudo-inverse fallback is used (Section 4.4.2.2 uses 0.1).
@@ -33,21 +35,30 @@ DEFAULT_CONDITION_THRESHOLD = 1e8
 
 
 def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None,
-                    kernel: KernelLike = None) -> IntervalMatrix:
+                    kernel: KernelLike = None,
+                    mixed_chunk_elements: Optional[int] = None,
+                    ) -> Union[IntervalMatrix, SparseIntervalMatrix]:
     """Interval-valued matrix product ``a @ b`` (supplementary Algorithm 1).
 
-    Both operands may be interval matrices or plain scalar ndarrays.  The
+    Operands may be dense interval matrices, plain scalar ndarrays, or
+    :class:`~repro.interval.sparse.SparseIntervalMatrix` instances.  The
     default construction is the paper's pseudo-code: the elementwise min/max
     over the four endpoint-matrix products.
 
     ``matmul`` overrides the scalar product primitive (default
     ``numpy.matmul``); the serving layer passes a batch-size-invariant kernel
-    so micro-batched queries reproduce unbatched results bit for bit.
+    so micro-batched queries reproduce unbatched results bit for bit.  Sparse
+    operands run in scipy's sparse BLAS instead, on the kernels that support
+    it (``endpoint4`` and ``rump``; ``exact`` raises).  When *both* operands
+    are sparse the result is a :class:`SparseIntervalMatrix`; a dense partner
+    makes the result dense.
 
     ``kernel`` selects the interval-product kernel from
     :mod:`repro.interval.kernels` (a key or a
     :class:`~repro.interval.kernels.KernelInfo`): ``"endpoint4"`` (default),
-    ``"exact"``, or ``"rump"``.
+    ``"exact"``, or ``"rump"``.  ``mixed_chunk_elements`` tunes the ``exact``
+    kernel's mixed x mixed chunk size (default: the
+    ``REPRO_MIXED_CHUNK_ELEMENTS`` environment variable, else ~4M elements).
 
     Notes
     -----
@@ -63,16 +74,47 @@ def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None,
     figures match the paper.  Pass ``kernel="exact"`` for the true hull or
     ``kernel="rump"`` for a fast sound enclosure.
     """
-    a = IntervalMatrix.coerce(a)
-    b = IntervalMatrix.coerce(b)
+    a = as_interval_operand(a)
+    b = as_interval_operand(b)
     if matmul is None:
         matmul = np.matmul
     if a.shape[-1] != b.shape[0]:
         raise IntervalError(
             f"incompatible shapes for interval matmul: {a.shape} @ {b.shape}"
         )
-    lower, upper = get_kernel(kernel).product(a, b, matmul=matmul)
+    lower, upper = get_kernel(kernel).product(
+        a, b, matmul=matmul, mixed_chunk_elements=mixed_chunk_elements)
+    if sp.issparse(lower) and sp.issparse(upper):
+        return SparseIntervalMatrix(lower, upper, check=False)
     return IntervalMatrix(lower, upper, check=False)
+
+
+def interval_gram(matrix: MatrixLike, kernel: KernelLike = None, matmul=None,
+                  block_rows: Optional[int] = None) -> IntervalMatrix:
+    """Dense interval Gram matrix ``matrix.T @ matrix`` (the ISVD2/3/4 step).
+
+    The result is always a dense ``m x m`` :class:`IntervalMatrix` (the
+    eigen-decomposition that consumes it needs dense endpoint arrays), but
+    the *computation* adapts to the input:
+
+    * a :class:`~repro.interval.sparse.SparseIntervalMatrix` runs its
+      endpoint products through scipy's sparse BLAS — the ``n x m`` input is
+      never densified, so an ``n`` of 100k rows at 1% density costs megabytes
+      and milliseconds instead of gigabytes and minutes;
+    * a dense matrix with ``block_rows`` set accumulates each endpoint
+      product over row chunks, bounding the live temporaries to four
+      ``m x m`` accumulators plus one chunk (see
+      :meth:`~repro.interval.kernels.KernelInfo.gram`).
+
+    With ``block_rows=None`` and a dense input this is byte-identical to
+    ``interval_matmul(matrix.T, matrix, kernel=kernel)``.
+    """
+    matrix = as_interval_operand(matrix)
+    if matrix.ndim != 2:
+        raise IntervalError("interval_gram expects a 2-D interval matrix")
+    lower, upper = get_kernel(kernel).gram(matrix, matmul=matmul,
+                                           block_rows=block_rows)
+    return IntervalMatrix(np.asarray(lower), np.asarray(upper), check=False)
 
 
 def interval_dot(x: MatrixLike, y: MatrixLike, kernel: KernelLike = "exact") -> Interval:

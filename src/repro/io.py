@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.result import DecompositionTarget, IntervalDecomposition
 from repro.interval.array import IntervalMatrix
 from repro.interval.scalar import IntervalError
+from repro.interval.sparse import SparseIntervalMatrix, is_sparse_interval
 
 PathLike = Union[str, Path]
 
@@ -156,13 +157,26 @@ def atomic_write(path: PathLike) -> Iterator[Path]:
 # --------------------------------------------------------------------------- #
 # Fingerprinting
 # --------------------------------------------------------------------------- #
-def interval_fingerprint(matrix: IntervalMatrix) -> str:
+def interval_fingerprint(matrix: Union[IntervalMatrix, SparseIntervalMatrix]) -> str:
     """Stable content hash of an interval matrix (shape + endpoint bytes).
 
     Used as the data component of on-disk cache keys: two matrices share a
     fingerprint exactly when their shapes and endpoint values are bitwise
-    identical.
+    identical.  Sparse matrices hash their canonical CSR representation
+    (sorted pattern + endpoint data) without densifying — note a sparse
+    matrix and its dense equivalent deliberately do *not* share a
+    fingerprint, because the two representations take different execution
+    paths and may differ in the last ulp.
     """
+    if is_sparse_interval(matrix):
+        digest = hashlib.sha256()
+        digest.update(b"csr:")
+        digest.update(repr(matrix.shape).encode())
+        digest.update(np.ascontiguousarray(matrix.lower.indptr).tobytes())
+        digest.update(np.ascontiguousarray(matrix.lower.indices).tobytes())
+        digest.update(np.ascontiguousarray(matrix.lower.data, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(matrix.upper.data, dtype=float).tobytes())
+        return digest.hexdigest()
     matrix = IntervalMatrix.coerce(matrix)
     digest = hashlib.sha256()
     digest.update(repr(matrix.shape).encode())
@@ -174,15 +188,52 @@ def interval_fingerprint(matrix: IntervalMatrix) -> str:
 # --------------------------------------------------------------------------- #
 # NPZ
 # --------------------------------------------------------------------------- #
-def save_interval_npz(matrix: IntervalMatrix, path: PathLike) -> None:
-    """Write an interval matrix to a compressed NPZ archive."""
+def save_interval_npz(matrix: Union[IntervalMatrix, SparseIntervalMatrix],
+                      path: PathLike) -> None:
+    """Write an interval matrix to a compressed NPZ archive.
+
+    Sparse matrices are stored in CSR form (``format="csr"`` marker plus
+    ``indptr`` / ``indices`` / ``lower_data`` / ``upper_data`` / ``shape``
+    arrays) — the archive stays proportional to the number of observed cells,
+    and :func:`load_interval_npz` restores the same representation.
+    """
+    if is_sparse_interval(matrix):
+        np.savez_compressed(
+            Path(path),
+            format=np.array("csr"),
+            shape=np.asarray(matrix.shape, dtype=np.int64),
+            indptr=matrix.lower.indptr,
+            indices=matrix.lower.indices,
+            lower_data=matrix.lower.data,
+            upper_data=matrix.upper.data,
+        )
+        return
     matrix = IntervalMatrix.coerce(matrix)
     np.savez_compressed(Path(path), lower=matrix.lower, upper=matrix.upper)
 
 
-def load_interval_npz(path: PathLike) -> IntervalMatrix:
-    """Read an interval matrix from an NPZ archive with ``lower``/``upper`` arrays."""
+def load_interval_npz(path: PathLike) -> Union[IntervalMatrix, SparseIntervalMatrix]:
+    """Read an interval matrix from an NPZ archive.
+
+    Dense archives carry ``lower``/``upper`` arrays; sparse archives carry
+    the CSR fields written by :func:`save_interval_npz` and load back as a
+    :class:`~repro.interval.sparse.SparseIntervalMatrix`.
+    """
+    import scipy.sparse as sp
+
     with np.load(Path(path)) as archive:
+        if "format" in archive and str(archive["format"]) == "csr":
+            required = {"shape", "indptr", "indices", "lower_data", "upper_data"}
+            if not required.issubset(set(archive.files)):
+                raise IntervalError(f"{path} is not a sparse interval archive")
+            shape = tuple(int(n) for n in archive["shape"])
+            lower = sp.csr_array(
+                (archive["lower_data"], archive["indices"], archive["indptr"]),
+                shape=shape)
+            upper = sp.csr_array(
+                (archive["upper_data"], archive["indices"], archive["indptr"]),
+                shape=shape)
+            return SparseIntervalMatrix(lower, upper)
         if "lower" not in archive or "upper" not in archive:
             raise IntervalError(
                 f"{path} does not contain 'lower' and 'upper' arrays"

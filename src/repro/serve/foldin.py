@@ -19,6 +19,14 @@ Because ``pinv`` restricted to the latent row span is an exact left inverse
 of the item map, folding in anything the model can itself produce (a served
 reconstruction row) recovers it to numerical tolerance — the property the
 test suite checks for every registered method and target.
+
+Sparse query rows (:class:`~repro.interval.sparse.SparseIntervalMatrix`) get
+*observed-only* semantics: a cell absent from the sparsity pattern means "the
+user never rated this item", not "the user rated it zero", so only the
+observed columns enter the least-squares projection — each row solves against
+the item map restricted to its own observed columns.  This is the classic
+masked fold-in of CF serving, and it is what makes a 20-rating query row
+meaningful against a 2 000-item model.
 """
 
 from __future__ import annotations
@@ -31,8 +39,9 @@ from repro.core.result import IntervalDecomposition
 from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.linalg import interval_matmul
+from repro.interval.sparse import SparseIntervalMatrix, is_sparse_interval
 
-Rows = Union[np.ndarray, IntervalMatrix]
+Rows = Union[np.ndarray, IntervalMatrix, SparseIntervalMatrix]
 
 
 def batch_invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -73,24 +82,51 @@ class FoldInProjector:
         sigma_lo, sigma_hi = decomposition.sigma_endpoints()
         v_lo, v_hi = decomposition.v_endpoints()
         if decomposition.is_interval_factors or decomposition.is_interval_core:
-            self._pinv_lower = np.linalg.pinv(sigma_lo @ v_lo.T)
-            self._pinv_upper = np.linalg.pinv(sigma_hi @ v_hi.T)
+            #: Endpoint item maps (r x m), kept for the masked sparse path
+            #: whose per-row column restriction cannot reuse a global pinv.
+            self._map_lower = sigma_lo @ v_lo.T
+            self._map_upper = sigma_hi @ v_hi.T
+            self._pinv_lower = np.linalg.pinv(self._map_lower)
+            self._pinv_upper = np.linalg.pinv(self._map_upper)
         else:
+            self._map_lower = self._map_upper = self.item_map
             self._pinv_lower = self._pinv_upper = self._pinv_mid
 
     # ------------------------------------------------------------------ #
     # Input normalization
     # ------------------------------------------------------------------ #
-    def _coerce_rows(self, rows: Rows) -> IntervalMatrix:
-        rows = IntervalMatrix.coerce(rows)
-        if rows.ndim == 1:
-            rows = IntervalMatrix(rows.lower[np.newaxis, :], rows.upper[np.newaxis, :],
-                                  check=False)
+    def _coerce_rows(self, rows: Rows) -> Union[IntervalMatrix, SparseIntervalMatrix]:
+        if not is_sparse_interval(rows):
+            rows = IntervalMatrix.coerce(rows)
+            if rows.ndim == 1:
+                rows = IntervalMatrix(rows.lower[np.newaxis, :], rows.upper[np.newaxis, :],
+                                      check=False)
         if rows.ndim != 2 or rows.shape[1] != self.n_items:
             raise ValueError(
                 f"expected query rows of width {self.n_items}, got shape {rows.shape}"
             )
         return rows
+
+    def _masked_least_squares(self, rows: SparseIntervalMatrix, values: np.ndarray,
+                              item_map: np.ndarray) -> np.ndarray:
+        """Per-row least squares restricted to each row's observed columns.
+
+        ``values`` is a data array aligned with the rows' shared CSR pattern.
+        Each row solves ``min_u || u @ item_map[:, observed] - values_row ||``;
+        a row with no observations folds to the zero latent vector (scoring it
+        yields the model's all-zero baseline, the natural cold-start answer).
+        """
+        indptr = rows.lower.indptr
+        indices = rows.lower.indices
+        latent = np.zeros((rows.shape[0], self.rank))
+        for i in range(rows.shape[0]):
+            start, stop = indptr[i], indptr[i + 1]
+            if start == stop:
+                continue
+            columns = indices[start:stop]
+            design = item_map[:, columns].T
+            latent[i] = np.linalg.lstsq(design, values[start:stop], rcond=None)[0]
+        return latent
 
     # ------------------------------------------------------------------ #
     # Projections
@@ -99,9 +135,15 @@ class FoldInProjector:
         """Scalar latent coordinates (``q x r``) of the rows' midpoints.
 
         ``u = x_mid pinv(Sigma_mid V_mid^T)`` — the least-squares latent row
-        whose reconstruction best approximates the query row.
+        whose reconstruction best approximates the query row.  Sparse rows
+        solve the same least-squares problem restricted to their observed
+        columns (unobserved items exert no pull toward a zero rating).
         """
-        return batch_invariant_matmul(self._coerce_rows(rows).midpoint(), self._pinv_mid)
+        rows = self._coerce_rows(rows)
+        if is_sparse_interval(rows):
+            midpoints = 0.5 * (rows.lower.data + rows.upper.data)
+            return self._masked_least_squares(rows, midpoints, self.item_map)
+        return batch_invariant_matmul(rows.midpoint(), self._pinv_mid)
 
     def fold_in_interval(self, rows: Rows) -> IntervalMatrix:
         """Interval latent coordinates (``q x r``) of the rows.
@@ -109,11 +151,17 @@ class FoldInProjector:
         Lower and upper endpoints are projected separately through the
         endpoint pseudo-inverses; the results are sorted elementwise so the
         latent row is a valid interval even when a projector column flips the
-        ordering (pseudo-inverses may contain negative entries).
+        ordering (pseudo-inverses may contain negative entries).  Sparse rows
+        project each endpoint through the observed-column least squares
+        against the matching endpoint item map.
         """
         rows = self._coerce_rows(rows)
-        lower = batch_invariant_matmul(rows.lower, self._pinv_lower)
-        upper = batch_invariant_matmul(rows.upper, self._pinv_upper)
+        if is_sparse_interval(rows):
+            lower = self._masked_least_squares(rows, rows.lower.data, self._map_lower)
+            upper = self._masked_least_squares(rows, rows.upper.data, self._map_upper)
+        else:
+            lower = batch_invariant_matmul(rows.lower, self._pinv_lower)
+            upper = batch_invariant_matmul(rows.upper, self._pinv_upper)
         return IntervalMatrix(np.minimum(lower, upper), np.maximum(lower, upper))
 
     def latent_features(self, rows: Rows) -> IntervalMatrix:

@@ -22,7 +22,7 @@ from typing import NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro.core.result import IntervalDecomposition
-from repro.eval.knn import pairwise_interval_distances
+from repro.eval.knn import pairwise_interval_distances, reference_squared_norms
 from repro.interval.kernels import KernelLike
 from repro.serve.foldin import FoldInProjector, Rows, batch_invariant_matmul
 
@@ -73,6 +73,11 @@ class QueryEngine:
     ``kernel`` selects the interval-product kernel
     (:mod:`repro.interval.kernels`) used when folding query rows into latent
     features for retrieval; ``None`` keeps the paper-faithful default.
+
+    Query rows may be dense (ndarray / :class:`IntervalMatrix`) or a
+    :class:`~repro.interval.sparse.SparseIntervalMatrix` of partially observed
+    rows, which fold in with observed-only least squares (see
+    :class:`FoldInProjector`); scoring and selection downstream are identical.
     """
 
     def __init__(self, decomposition: IntervalDecomposition,
@@ -85,6 +90,10 @@ class QueryEngine:
         self.user_latent = decomposition.u_scalar()
         #: Interval features ``U x Sigma`` of the stored rows, for retrieval.
         self.reference_features = decomposition.projection()
+        #: Squared endpoint-feature norms of the stored rows, computed once —
+        #: the references never change within one engine, so no query batch
+        #: should recompute this n-row reduction.
+        self._references_sq = reference_squared_norms(self.reference_features)
 
     @property
     def n_users(self) -> int:
@@ -119,7 +128,8 @@ class QueryEngine:
         """
         features = self.projector.latent_features(query_rows)
         return pairwise_interval_distances(features, self.reference_features,
-                                           matmul=batch_invariant_matmul)
+                                           matmul=batch_invariant_matmul,
+                                           references_sq=self._references_sq)
 
     def top_k_for_users(self, indices: Sequence[int], k: int) -> TopKResult:
         """Best-``k`` items for stored users, from their trained latent rows."""

@@ -1,0 +1,206 @@
+"""Regression tests for the PR-4 performance satellites.
+
+* cached reference squared norms in the NN classifier / query engine
+  (``references_sq`` fast path of :func:`pairwise_interval_distances`);
+* the vectorized K-means centroid update (one membership matmul instead of a
+  Python loop over clusters), pinned to the loop implementation's labels on
+  fixed seeds;
+* the tunable ``exact``-kernel mixed-chunk bound (keyword +
+  ``REPRO_MIXED_CHUNK_ELEMENTS`` environment variable) and the skip of the
+  mixed-sign machinery for sign-consistent left operands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.kmeans import IntervalKMeans
+from repro.eval.knn import (
+    IntervalNearestNeighbor,
+    pairwise_interval_distances,
+    reference_squared_norms,
+)
+from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import (
+    MIXED_CHUNK_ENV,
+    resolve_mixed_chunk_elements,
+)
+from repro.interval.linalg import interval_matmul
+from repro.interval.random import random_interval_matrix
+from repro.interval.scalar import IntervalError
+
+
+class TestReferenceNormCaching:
+    def _features(self, seed, rows=12, rank=4):
+        return random_interval_matrix((rows, rank), interval_density=1.0,
+                                      interval_intensity=0.7, rng=seed)
+
+    def test_fast_path_is_byte_identical_to_recomputation(self):
+        queries = self._features(0, rows=5)
+        references = self._features(1)
+        cached = reference_squared_norms(references)
+        baseline = pairwise_interval_distances(queries, references)
+        fast = pairwise_interval_distances(queries, references,
+                                           references_sq=cached)
+        assert fast.tobytes() == baseline.tobytes()
+
+    def test_wrong_shape_references_sq_raises(self):
+        queries = self._features(0, rows=5)
+        references = self._features(1)
+        with pytest.raises(ValueError, match="references_sq"):
+            pairwise_interval_distances(queries, references,
+                                        references_sq=np.zeros(3))
+
+    def test_nn_classifier_caches_norms_at_fit_time(self):
+        references = self._features(2)
+        labels = np.arange(12) % 3
+        classifier = IntervalNearestNeighbor().fit(references, labels)
+        assert classifier._features_sq is not None
+        assert classifier._features_sq.shape == (12,)
+        # Predictions are unchanged by the caching.
+        queries = self._features(3, rows=6)
+        predictions = classifier.predict(queries)
+        brute = []
+        stacked_refs = np.hstack([references.lower, references.upper])
+        stacked_queries = np.hstack([queries.lower, queries.upper])
+        for row in stacked_queries:
+            brute.append(labels[np.argmin(((stacked_refs - row) ** 2).sum(axis=1))])
+        np.testing.assert_array_equal(predictions, np.asarray(brute))
+
+    def test_query_engine_precomputes_and_uses_cached_norms(self, monkeypatch):
+        from repro.core.isvd import isvd
+        from repro.serve.query import QueryEngine
+        import repro.serve.query as query_module
+
+        matrix = random_interval_matrix((15, 9), interval_density=1.0,
+                                        interval_intensity=0.6, rng=4)
+        engine = QueryEngine(isvd(matrix, 3, method="isvd3", target="b"))
+        assert engine._references_sq.shape == (15,)
+
+        seen = {}
+        original = query_module.pairwise_interval_distances
+
+        def spy(queries, references, matmul=None, references_sq=None):
+            seen["references_sq"] = references_sq
+            return original(queries, references, matmul=matmul,
+                            references_sq=references_sq)
+
+        monkeypatch.setattr(query_module, "pairwise_interval_distances", spy)
+        engine.neighbor_distances(matrix.row(0))
+        assert seen["references_sq"] is engine._references_sq
+
+
+class TestVectorizedKMeans:
+    @staticmethod
+    def _loop_lloyd(model: IntervalKMeans, points: np.ndarray,
+                    centers: np.ndarray) -> np.ndarray:
+        """The pre-vectorization Lloyd iteration, kept as the reference."""
+        labels = np.zeros(points.shape[0], dtype=int)
+        for _ in range(model.max_iter):
+            distances = (
+                (points**2).sum(axis=1, keepdims=True)
+                - 2.0 * points @ centers.T
+                + (centers**2).sum(axis=1)
+            )
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(model.n_clusters):
+                members = points[labels == k]
+                if members.shape[0] > 0:
+                    new_centers[k] = members.mean(axis=0)
+            movement = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if movement <= model.tol:
+                break
+        return labels
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_labels_identical_to_loop_implementation(self, seed):
+        rng = np.random.default_rng(seed)
+        # Well-separated blobs: the fixture the satellite pins.
+        blobs = [rng.normal(loc=center, scale=0.4, size=(30, 5))
+                 for center in (-6.0, 0.0, 6.0, 12.0)]
+        points = np.vstack(blobs)
+        model = IntervalKMeans(n_clusters=4, n_init=1, seed=seed)
+        init_rng = np.random.default_rng(seed)
+        centers = model._plus_plus_init(points, init_rng)
+        expected = self._loop_lloyd(model, points, centers.copy())
+        labels, _, _ = model._lloyd(points, centers.copy())
+        np.testing.assert_array_equal(labels, expected)
+
+    def test_empty_clusters_keep_previous_centers(self):
+        # Two coincident far-apart blobs but K=3: one center will end up
+        # empty after the first assignment and must survive unchanged.
+        points = np.vstack([np.full((10, 2), -5.0), np.full((10, 2), 5.0)])
+        model = IntervalKMeans(n_clusters=3, n_init=1, seed=0)
+        centers = np.array([[-5.0, -5.0], [5.0, 5.0], [100.0, 100.0]])
+        labels, final_centers, _ = model._lloyd(points, centers)
+        assert set(labels) == {0, 1}
+        np.testing.assert_array_equal(final_centers[2], [100.0, 100.0])
+
+    def test_fit_end_to_end_still_clusters(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([rng.normal(-4, 0.3, (20, 3)),
+                            rng.normal(4, 0.3, (20, 3))])
+        labels = IntervalKMeans(n_clusters=2, seed=0).fit_predict(points)
+        assert len(set(labels[:20])) == 1 and len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_interval_features_still_supported(self):
+        features = random_interval_matrix((24, 4), interval_density=1.0,
+                                          interval_intensity=0.5, rng=2)
+        model = IntervalKMeans(n_clusters=3, seed=5).fit(features)
+        assert model.labels_.shape == (24,)
+        assert model.inertia_ >= 0.0
+
+
+class TestMixedChunkTuning:
+    MIXED = IntervalMatrix(np.full((6, 7), -1.0), np.full((6, 7), 1.0))
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(MIXED_CHUNK_ENV, raising=False)
+        from repro.interval.kernels import _MIXED_CHUNK_ELEMENTS
+
+        assert resolve_mixed_chunk_elements() == _MIXED_CHUNK_ELEMENTS
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(MIXED_CHUNK_ENV, "123")
+        assert resolve_mixed_chunk_elements() == 123
+
+    def test_keyword_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(MIXED_CHUNK_ENV, "123")
+        assert resolve_mixed_chunk_elements(77) == 77
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "two"])
+    def test_invalid_env_values_raise(self, monkeypatch, bad):
+        monkeypatch.setenv(MIXED_CHUNK_ENV, bad)
+        with pytest.raises(IntervalError):
+            resolve_mixed_chunk_elements()
+
+    def test_chunk_size_does_not_change_exact_results(self, monkeypatch):
+        b = IntervalMatrix(np.full((7, 5), -2.0), np.full((7, 5), 2.0))
+        reference = interval_matmul(self.MIXED, b, kernel="exact")
+        # Chunk of 1 element forces one column per iteration of the
+        # correction loop; a huge chunk collapses it to a single pass.
+        for chunk in (1, 10, 10**9):
+            result = interval_matmul(self.MIXED, b, kernel="exact",
+                                     mixed_chunk_elements=chunk)
+            assert result.lower.tobytes() == reference.lower.tobytes()
+            assert result.upper.tobytes() == reference.upper.tobytes()
+        monkeypatch.setenv(MIXED_CHUNK_ENV, "2")
+        via_env = interval_matmul(self.MIXED, b, kernel="exact")
+        assert via_env.lower.tobytes() == reference.lower.tobytes()
+
+    def test_sign_consistent_left_operand_skips_mixed_machinery(self, monkeypatch):
+        # A tiny chunk bound would make the mixed x mixed loop astronomically
+        # slow if it ran; with a sign-consistent left operand it must not run
+        # at all, so this stays instant and correct.
+        monkeypatch.setenv(MIXED_CHUNK_ENV, "1")
+        rng = np.random.default_rng(3)
+        a_lo = rng.random((5, 6)) + 0.5
+        a = IntervalMatrix(a_lo, a_lo + rng.random((5, 6)))
+        b = IntervalMatrix(np.full((6, 4), -1.0), np.full((6, 4), 1.0))
+        result = interval_matmul(a, b, kernel="exact")
+        e4 = interval_matmul(a, b, kernel="endpoint4")
+        # Sign-consistent left x anything: endpoint4 equals the hull only
+        # entrywise-sound cases; here just assert soundness containment.
+        assert result.contains(e4, tol=1e-9)
