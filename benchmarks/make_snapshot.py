@@ -4,12 +4,13 @@
 Usage::
 
     python -m pytest benchmarks -q --benchmark-json=benchmark-report.json
-    python benchmarks/make_snapshot.py benchmark-report.json BENCH_4.json
+    python benchmarks/make_snapshot.py benchmark-report.json BENCH_5.json
 
 pytest-benchmark's raw report is per-run noise (machine info, timestamps,
 every statistical moment); the snapshot distills the *reproduced numbers*
 that define the perf trajectory — kernel wall-clocks, serving throughput,
-and the sparse-vs-dense gram comparison — into a small stable JSON that can
+the sparse-vs-dense gram comparison, and the sharded scatter-gather serving
+numbers — into a small stable JSON that can
 live in the repository and be diffed commit to commit.  CI regenerates it on
 every run and uploads it as an artifact; the tracked copy in the repo root is
 the reference point from the commit that introduced it.
@@ -40,6 +41,13 @@ SECTIONS = {
         "dense_gram_ms_full_estimate", "sparse_speedup",
         "sparse_endpoint_mb", "dense_endpoint_mb", "sparse_storage_ratio",
     )),
+    "shard": ("test_bench_shard", (
+        "shards", "model_shape", "queries",
+        "sharded_batched_qps", "sharded_unbatched_qps", "shard_speedup",
+        "topk_sharded_ms", "topk_unsharded_ms",
+        "parity_queries", "neighbor_sharded_ms", "neighbor_unsharded_ms",
+        "scatter_block_mb", "monolithic_block_mb",
+    )),
 }
 
 #: Section keys whose absence fails the build (the headline numbers).
@@ -47,6 +55,7 @@ REQUIRED = {
     "kernel": ("endpoint4_ms", "rump_ms", "rump_over_endpoint4"),
     "serve": ("batched_qps", "speedup"),
     "sparse": ("sparse_gram_ms", "sparse_speedup", "sparse_storage_ratio"),
+    "shard": ("shards", "sharded_batched_qps", "shard_speedup"),
 }
 
 

@@ -1,0 +1,164 @@
+"""Benchmark E-shard: scatter-gather serving over row-range shards.
+
+Serves a **webscale-preset-shaped model** (the 100k-user x 2k-item geometry
+of ``SPARSE_SCALE_PRESETS["webscale"]``, the scale PR 4's sparse path made
+fittable) through a 4-shard :class:`~repro.serve.shard.ShardedQueryEngine`
+and gates the serving economics:
+
+* **batched vs row-at-a-time** — batched top-k on the sharded engine must
+  beat per-request querying by >= 2x throughput (the same gate the unsharded
+  engine passes in ``test_bench_serve.py``; sharding must not give it back);
+* **merge parity** — every gated or recorded case first asserts the sharded
+  results are *byte-identical* to the unsharded engine over the merged
+  model: scatter-gather is an execution detail, never a semantics change.
+
+The sharded-vs-unsharded wall-clocks are recorded (not gated): scatter adds
+thread fan-out that helps on multi-core serving hosts, while on a single
+CPU the honest win is the bounded gather working set — per-shard distance
+blocks are reduced to ``q x k`` candidates before the merge, so the peak
+per-shard block is ``n_shards``-fold smaller than the monolithic ``q x n``
+matrix (both figures are published).
+
+The model factors are synthesized at the preset's geometry rather than
+re-fitted here: this suite measures *serving*, and the webscale fit already
+has its own end-to-end record in ``test_bench_sparse.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.result import IntervalDecomposition
+from repro.datasets.ratings import SPARSE_SCALE_PRESETS
+from repro.interval.array import IntervalMatrix
+from repro.serve.query import QueryEngine
+from repro.serve.shard import ShardedQueryEngine, ShardPlanner
+
+PRESET = SPARSE_SCALE_PRESETS["webscale"]
+N_USERS, N_ITEMS = PRESET.n_users, PRESET.n_items
+RANK, TOP_K, N_SHARDS = 16, 10, 4
+N_QUERIES = 256
+#: Query-row count of the (quadratic-cost) nearest-neighbour parity case:
+#: its q x 100k distance matrix is what the scatter bounds per shard.
+N_NEIGHBOR_QUERIES = 32
+
+MIN_BATCHED_SPEEDUP = 2.0
+
+
+def _webscale_decomposition() -> IntervalDecomposition:
+    """A target-b model at the webscale preset's geometry (synthetic factors)."""
+    rng = np.random.default_rng(20240)
+    u = rng.normal(size=(N_USERS, RANK))
+    sigma_center = np.sort(rng.uniform(1.0, 10.0, size=RANK))[::-1]
+    sigma_radius = rng.uniform(0.0, 0.2, size=RANK)
+    sigma = IntervalMatrix(np.diag(sigma_center - sigma_radius),
+                           np.diag(sigma_center + sigma_radius), check=False)
+    v = rng.normal(size=(N_ITEMS, RANK))
+    return IntervalDecomposition(u=u, sigma=sigma, v=v, target="b",
+                                 method="synthetic-webscale", rank=RANK)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    decomposition = _webscale_decomposition()
+    unsharded = QueryEngine(decomposition)
+    sharded = ShardedQueryEngine(ShardPlanner(N_SHARDS).split(decomposition))
+    return unsharded, sharded
+
+
+@pytest.fixture(scope="module")
+def query_rows():
+    """Unseen interval user rows (new users folding in at query time)."""
+    rng = np.random.default_rng(99)
+    midpoints = rng.uniform(1.0, 5.0, size=(N_QUERIES, N_ITEMS))
+    radius = rng.uniform(0.0, 0.5, size=midpoints.shape)
+    return IntervalMatrix(midpoints - radius, midpoints + radius)
+
+
+def _best_of(fn, rounds=3):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, value
+    return best, result
+
+
+def test_bench_shard_batched_topk(benchmark, engines, query_rows):
+    """The gate: batched sharded top-k >= 2x row-at-a-time, byte-identical
+    to the unsharded engine."""
+    unsharded, sharded = engines
+    single_rows = [query_rows.row(i) for i in range(N_QUERIES)]
+
+    unbatched_seconds, unbatched = _best_of(
+        lambda: [sharded.top_k_items(row, TOP_K) for row in single_rows])
+
+    batched = benchmark.pedantic(
+        lambda: sharded.top_k_items(query_rows, TOP_K), rounds=3, iterations=1)
+    batched_seconds = benchmark.stats.stats.min
+
+    reference_seconds, reference = _best_of(
+        lambda: unsharded.top_k_items(query_rows, TOP_K))
+
+    # Merge parity: the scatter-gather answers are the unsharded answers,
+    # bit for bit — batched and per-request alike.
+    np.testing.assert_array_equal(batched.indices, reference.indices)
+    np.testing.assert_array_equal(batched.scores, reference.scores)
+    for i, result in enumerate(unbatched):
+        np.testing.assert_array_equal(result.indices[0], reference.indices[i])
+        np.testing.assert_array_equal(result.scores[0], reference.scores[i])
+
+    benchmark.extra_info["shards"] = N_SHARDS
+    benchmark.extra_info["model_shape"] = f"{N_USERS}x{N_ITEMS}"
+    benchmark.extra_info["queries"] = N_QUERIES
+    benchmark.extra_info["sharded_batched_qps"] = round(
+        N_QUERIES / batched_seconds, 1)
+    benchmark.extra_info["sharded_unbatched_qps"] = round(
+        N_QUERIES / unbatched_seconds, 1)
+    benchmark.extra_info["shard_speedup"] = round(
+        unbatched_seconds / batched_seconds, 2)
+    benchmark.extra_info["topk_sharded_ms"] = round(batched_seconds * 1000.0, 2)
+    benchmark.extra_info["topk_unsharded_ms"] = round(
+        reference_seconds * 1000.0, 2)
+
+    assert batched_seconds * MIN_BATCHED_SPEEDUP <= unbatched_seconds, (
+        f"sharded batched top-k is only "
+        f"{unbatched_seconds / batched_seconds:.2f}x faster than "
+        f"row-at-a-time (gate: {MIN_BATCHED_SPEEDUP}x)"
+    )
+
+
+def test_bench_shard_neighbor_merge_parity(benchmark, engines, query_rows):
+    """Cross-shard nearest-neighbour merge over 100k stored rows is
+    byte-identical to the monolithic engine; wall-clocks recorded."""
+    unsharded, sharded = engines
+    queries = IntervalMatrix(query_rows.lower[:N_NEIGHBOR_QUERIES],
+                             query_rows.upper[:N_NEIGHBOR_QUERIES],
+                             check=False)
+
+    sharded_result = benchmark.pedantic(
+        lambda: sharded.nearest_neighbors(queries, TOP_K),
+        rounds=2, iterations=1)
+    sharded_seconds = benchmark.stats.stats.min
+    unsharded_seconds, unsharded_result = _best_of(
+        lambda: unsharded.nearest_neighbors(queries, TOP_K), rounds=2)
+
+    np.testing.assert_array_equal(sharded_result.indices,
+                                  unsharded_result.indices)
+    np.testing.assert_array_equal(sharded_result.scores,
+                                  unsharded_result.scores)
+
+    benchmark.extra_info["parity_queries"] = N_NEIGHBOR_QUERIES
+    benchmark.extra_info["neighbor_sharded_ms"] = round(
+        sharded_seconds * 1000.0, 1)
+    benchmark.extra_info["neighbor_unsharded_ms"] = round(
+        unsharded_seconds * 1000.0, 1)
+    # The scatter's memory story: per-shard distance blocks versus the
+    # monolithic q x n matrix (8-byte doubles).
+    benchmark.extra_info["scatter_block_mb"] = round(
+        N_NEIGHBOR_QUERIES * (N_USERS / N_SHARDS) * 8 / 1e6, 1)
+    benchmark.extra_info["monolithic_block_mb"] = round(
+        N_NEIGHBOR_QUERIES * N_USERS * 8 / 1e6, 1)

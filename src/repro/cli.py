@@ -15,8 +15,11 @@ Sub-commands:
 * ``list-methods`` — show every key of the factorizer registry with its
   capability metadata.
 * ``models`` — list the models published to a store directory.
+* ``shard`` — re-publish a model as row-range shards of ``U`` (or back to
+  the single-file format), for scatter-gather serving.
 * ``serve`` — run the HTTP JSON service (``/models``, ``/recommend``,
-  ``/neighbors``, ``/healthz``) over a model store.
+  ``/neighbors``, ``/healthz``) over a model store; sharded and single-file
+  models are served transparently.
 * ``query`` — send one recommendation / nearest-neighbour query to a running
   ``repro serve`` instance and print the JSON response.
 
@@ -87,15 +90,25 @@ _ACCURACY_DENSIFY_LIMIT = 4_000_000
 def _cmd_decompose(args: argparse.Namespace) -> int:
     from repro.interval.sparse import SparseIntervalMatrix, is_sparse_interval
 
+    if args.shards is not None and not args.save_model:
+        raise SystemExit("--shards requires --save-model")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     if args.save_model:
         # Fail on a bad name *before* spending minutes on the factorization.
         from repro.serve.store import ModelStore, ModelStoreError
 
         try:
-            ModelStore._check_name(args.save_model)
+            ModelStore.check_publish_name(args.save_model)
         except ModelStoreError as error:
             raise SystemExit(str(error))
     matrix = _load_matrix(args)
+    if args.shards is not None and args.shards > matrix.shape[0]:
+        # The row count is known now; don't spend the whole fit first.
+        raise SystemExit(
+            f"cannot split {matrix.shape[0]} rows into {args.shards} "
+            "non-empty shards"
+        )
     if args.sparse and not is_sparse_interval(matrix):
         matrix = SparseIntervalMatrix.from_dense(matrix)
     rank = args.rank or min(matrix.shape)
@@ -136,12 +149,25 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         repro_io.save_decomposition_npz(decomposition, args.output)
         print(f"factors written to {args.output}")
     if args.save_model:
-        from repro.serve.store import ModelStore
+        # --shards 1 means "single-file", exactly like `repro shard --shards 1`.
+        if args.shards is not None and args.shards > 1:
+            from repro.serve.shard import ShardedModelStore
 
-        record = ModelStore(args.store).save(args.save_model, decomposition,
-                                             matrix=matrix)
-        print(f"model {record.name!r} published to {args.store} "
-              f"({record.method}, target {record.target}, rank {record.rank})")
+            try:
+                record = ShardedModelStore(args.store).save_sharded(
+                    args.save_model, decomposition, args.shards, matrix=matrix)
+            except ValueError as error:  # more shards than rows, shards < 1
+                raise SystemExit(str(error))
+            print(f"model {record.name!r} published to {args.store} in "
+                  f"{record.shards} row-range shards ({record.method}, "
+                  f"target {record.target}, rank {record.rank})")
+        else:
+            from repro.serve.store import ModelStore
+
+            record = ModelStore(args.store).save(args.save_model, decomposition,
+                                                 matrix=matrix)
+            print(f"model {record.name!r} published to {args.store} "
+                  f"({record.method}, target {record.target}, rank {record.rank})")
     return 0
 
 
@@ -283,14 +309,59 @@ def _cmd_models(args: argparse.Namespace) -> int:
             record.target,
             record.rank,
             "x".join(str(n) for n in record.shape),
+            "-" if record.shards is None else record.shards,
             (record.fingerprint or "")[:12],
         ]
         for record in records
     ]
     print(format_table(
-        ["name", "method", "target", "rank", "shape", "fingerprint"],
+        ["name", "method", "target", "rank", "shape", "shards", "fingerprint"],
         rows, title=f"Models in {args.store}",
     ))
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from zipfile import BadZipFile
+
+    from repro.serve.shard import ShardedModelStore
+    from repro.serve.store import ModelStoreError
+
+    store = ShardedModelStore(args.store)
+    target_name = args.rename_to or args.name
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    try:
+        # Fail on a bad target name *before* loading and hashing the shards.
+        store.check_publish_name(target_name)
+        decomposition, record = store.load_merged(args.name)
+    except (ModelStoreError, OSError, BadZipFile, KeyError, ValueError) as error:
+        # Beyond store errors: truncated/corrupt archives (BadZipFile,
+        # OSError) and factor-incomplete NPZ files (KeyError) surface as a
+        # clean one-line exit, matching the serving layer's handling.
+        raise SystemExit(str(error))
+    try:
+        if args.shards == 1:
+            # Resharding down to one shard means "make it single-file again".
+            new_record = store.save(target_name, decomposition,
+                                    fingerprint=record.fingerprint)
+        else:
+            new_record = store.save_sharded(target_name, decomposition,
+                                            args.shards,
+                                            fingerprint=record.fingerprint)
+    except (ModelStoreError, ValueError) as error:
+        raise SystemExit(str(error))
+    if new_record.shards is None:
+        print(f"model {target_name!r} republished single-file in {args.store}")
+    else:
+        from repro.serve.shard import plan_row_ranges
+
+        ranges = plan_row_ranges(new_record.shape[0], new_record.shards)
+        print(f"model {target_name!r} published to {args.store} in "
+              f"{new_record.shards} row-range shards of U "
+              f"({new_record.shape[0]} rows):")
+        for index, (start, stop) in enumerate(ranges):
+            print(f"  shard {index:02d}: rows [{start}, {stop})")
     return 0
 
 
@@ -380,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="publish the factors to the model store under this name")
     decompose.add_argument("--store", default=DEFAULT_STORE,
                            help=f"model store directory (default: {DEFAULT_STORE})")
+    decompose.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="with --save-model: publish as N row-range "
+                                "shards of U (item factors replicated); the "
+                                "server scatter-gathers across them with "
+                                "byte-identical results; 1 means single-file, "
+                                "as in `repro shard --shards 1`")
     decompose.set_defaults(handler=_cmd_decompose)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
@@ -431,6 +508,20 @@ def build_parser() -> argparse.ArgumentParser:
     models.add_argument("--store", default=DEFAULT_STORE,
                         help=f"model store directory (default: {DEFAULT_STORE})")
     models.set_defaults(handler=_cmd_models)
+
+    shard = subparsers.add_parser(
+        "shard", help="re-publish a model as row-range shards (or back to "
+                      "single-file with --shards 1)")
+    shard.add_argument("name", help="published model name")
+    shard.add_argument("--shards", type=int, required=True, metavar="N",
+                       help="number of row-range shards of U (1 restores the "
+                            "single-file format)")
+    shard.add_argument("--store", default=DEFAULT_STORE,
+                       help=f"model store directory (default: {DEFAULT_STORE})")
+    shard.add_argument("--as", dest="rename_to", metavar="NEW_NAME",
+                       help="publish the sharded model under this name "
+                            "instead of replacing the original")
+    shard.set_defaults(handler=_cmd_shard)
 
     serve = subparsers.add_parser(
         "serve", help="serve a model store over HTTP (/recommend, /neighbors, ...)")

@@ -186,12 +186,18 @@ class IntervalDecomposition:
         diag = np.diag(np.asarray(self.sigma)).copy()
         return IntervalMatrix(diag, diag.copy())
 
-    def projection(self) -> IntervalMatrix:
+    def projection(self, matmul=None) -> IntervalMatrix:
         """Row projections ``U x Sigma`` used as features for classification.
 
         For interval factors this is the interval product ``[U_lo S_lo, U_hi S_hi]``
         style enclosure computed with interval matrix algebra; for scalar
         factors it degenerates to the ordinary product.
+
+        ``matmul`` overrides the scalar product primitive (default
+        ``numpy.matmul``).  The serving layer passes its batch-size-invariant
+        kernel so each feature row is a pure function of its own ``U`` row —
+        the property that lets a row-range shard of ``U`` reproduce the
+        matching slice of the unsharded features bit for bit.
         """
         from repro.interval.linalg import interval_matmul
 
@@ -201,7 +207,7 @@ class IntervalDecomposition:
             if _is_interval(self.sigma)
             else IntervalMatrix.from_scalar(np.asarray(self.sigma))
         )
-        return interval_matmul(u, sigma)
+        return interval_matmul(u, sigma, matmul=matmul)
 
     def describe(self) -> str:
         """One-line human-readable summary."""

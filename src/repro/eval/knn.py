@@ -25,6 +25,7 @@ __all__ = [
     "IntervalNearestNeighbor",
     "nn_classification_f1",
     "pairwise_interval_distances",
+    "pairwise_interval_squared_distances",
     "reference_squared_norms",
 ]
 
@@ -42,10 +43,20 @@ def _as_endpoint_features(features: Features) -> np.ndarray:
     return np.hstack([features, features])
 
 
-def pairwise_interval_distances(queries: Features, references: Features,
-                                matmul=None,
-                                references_sq: Optional[np.ndarray] = None) -> np.ndarray:
-    """Matrix of interval Euclidean distances between query and reference rows.
+def pairwise_interval_squared_distances(
+        queries: Features, references: Features, matmul=None,
+        references_sq: Optional[np.ndarray] = None) -> np.ndarray:
+    """Squared interval Euclidean distances between query and reference rows.
+
+    The (clipped-nonnegative) squared form of
+    :func:`pairwise_interval_distances`, exposed separately because *square
+    root is a monotone map*: top-k selection can run on the squared matrix
+    and apply ``sqrt`` only to the few selected entries, saving a full pass
+    over a potentially huge ``q x n`` array.  The serving layer's sharded
+    nearest-neighbour path selects this way; each entry depends only on its
+    own (query, reference) pair, so a column block computed against a
+    row-range shard of the references is bit-identical to the matching slice
+    of the full matrix.
 
     ``matmul`` overrides the kernel of the cross-term product (default
     ``numpy.matmul``); the serving layer passes a batch-size-invariant kernel
@@ -54,9 +65,9 @@ def pairwise_interval_distances(queries: Features, references: Features,
 
     ``references_sq`` is a fast-path argument for callers that query one
     fixed reference set repeatedly (the serving engine, the NN classifier):
-    pass ``(_as_endpoint_features(references)**2).sum(axis=1)`` computed once
-    at fit time and the per-row reference norms are not recomputed on every
-    query batch.  The array must have one entry per reference row.
+    pass :func:`reference_squared_norms` computed once at fit time and the
+    per-row reference norms are not recomputed on every query batch.  The
+    array must have one entry per reference row.
     """
     if matmul is None:
         matmul = np.matmul
@@ -78,7 +89,19 @@ def pairwise_interval_distances(queries: Features, references: Features,
         - 2.0 * matmul(query_points, reference_points.T)
         + references_sq
     )
-    return np.sqrt(np.clip(squared, 0.0, None))
+    return np.clip(squared, 0.0, None)
+
+
+def pairwise_interval_distances(queries: Features, references: Features,
+                                matmul=None,
+                                references_sq: Optional[np.ndarray] = None) -> np.ndarray:
+    """Matrix of interval Euclidean distances between query and reference rows.
+
+    ``sqrt`` of :func:`pairwise_interval_squared_distances`; see there for
+    the ``matmul`` and ``references_sq`` arguments.
+    """
+    return np.sqrt(pairwise_interval_squared_distances(
+        queries, references, matmul=matmul, references_sq=references_sq))
 
 
 def reference_squared_norms(references: Features) -> np.ndarray:

@@ -185,6 +185,32 @@ def interval_fingerprint(matrix: Union[IntervalMatrix, SparseIntervalMatrix]) ->
     return digest.hexdigest()
 
 
+def decomposition_fingerprint(decomposition: IntervalDecomposition) -> str:
+    """Stable content hash of a decomposition (metadata + factor endpoints).
+
+    Two decompositions share a fingerprint exactly when their method, target,
+    rank, factor shapes and factor endpoint values are bitwise identical.
+    The sharded model store records one per row-range shard at publish time
+    and re-verifies on load, so a shard file that was swapped, truncated or
+    mixed up between models is caught before it silently serves wrong rows.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{decomposition.method}:{decomposition.target.value}:"
+        f"{decomposition.rank}:".encode()
+    )
+    for prefix, factor in (("u", decomposition.u), ("s", decomposition.sigma),
+                           ("v", decomposition.v)):
+        if isinstance(factor, IntervalMatrix):
+            lower, upper = factor.lower, factor.upper
+        else:
+            lower = upper = np.asarray(factor, dtype=float)
+        digest.update(f"{prefix}{lower.shape!r}:".encode())
+        digest.update(np.ascontiguousarray(lower, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(upper, dtype=float).tobytes())
+    return digest.hexdigest()
+
+
 # --------------------------------------------------------------------------- #
 # NPZ
 # --------------------------------------------------------------------------- #

@@ -1,6 +1,7 @@
 """Online serving of fitted interval decompositions.
 
-The subsystem has four layers, each usable on its own:
+The subsystem has five layers, each usable on its own (see
+``docs/ARCHITECTURE.md`` for the data-flow walkthrough):
 
 * :class:`~repro.serve.store.ModelStore` — publishes fitted decompositions
   (factors + metadata) to a directory, atomically;
@@ -11,15 +12,29 @@ The subsystem has four layers, each usable on its own:
   recommendation and nearest-neighbour retrieval over one model, with
   :class:`~repro.serve.batching.MicroBatcher` stacking concurrent
   single-row queries into single BLAS calls;
+* :mod:`repro.serve.shard` — row-range sharding:
+  :class:`~repro.serve.shard.ShardPlanner` splits a model along the user
+  dimension, :class:`~repro.serve.shard.ShardedModelStore` publishes
+  per-shard archives, and :class:`~repro.serve.shard.ShardedQueryEngine`
+  scatter-gathers queries across per-shard engines with a byte-stable merge;
 * :mod:`repro.serve.http` — a stdlib-only HTTP JSON service
   (``/models``, ``/recommend``, ``/neighbors``, ``/healthz``) exposed by
-  the CLI as ``repro serve`` / ``repro query``.
+  the CLI as ``repro serve`` / ``repro query``; sharded and single-file
+  models are served transparently.
 """
 
 from repro.serve.batching import MicroBatcher
 from repro.serve.foldin import FoldInProjector
 from repro.serve.http import ServingApp, create_server
-from repro.serve.query import QueryEngine, TopKResult
+from repro.serve.query import QueryEngine, TopKResult, top_k, top_k_from_candidates
+from repro.serve.shard import (
+    ShardedModelStore,
+    ShardedQueryEngine,
+    ShardManifest,
+    ShardPlanner,
+    merge_shards,
+    plan_row_ranges,
+)
 from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
 
 __all__ = [
@@ -30,6 +45,14 @@ __all__ = [
     "ModelStoreError",
     "QueryEngine",
     "ServingApp",
+    "ShardManifest",
+    "ShardPlanner",
+    "ShardedModelStore",
+    "ShardedQueryEngine",
     "TopKResult",
     "create_server",
+    "merge_shards",
+    "plan_row_ranges",
+    "top_k",
+    "top_k_from_candidates",
 ]

@@ -43,12 +43,19 @@ class MicroBatcher:
     ----------
     run_batch:
         Callable receiving the list of pending requests and returning one
-        result per request, in order.  Runs on the leader's thread.
+        result per request, in order.  Runs on the leader's thread.  For
+        batching to be semantically invisible — the serving layer's
+        batch-invariance guarantee — ``run_batch`` over a stack of requests
+        must return exactly what it would return for each request alone;
+        the engines' row-local scoring and total-order selection provide
+        that property for every query operation.
     max_batch:
-        Close the batch as soon as this many requests have joined.
+        Close the batch as soon as this many requests have joined
+        (``>= 1``; ``1`` disables stacking).
     max_delay:
-        Longest time (seconds) the leader waits for followers.  Keep this at
-        network-jitter scale: it bounds the latency a lone request pays.
+        Longest time (seconds, ``>= 0``) the leader waits for followers.
+        Keep this at network-jitter scale: it bounds the latency a lone
+        request pays.
     """
 
     def __init__(self, run_batch: Callable[[Sequence[object]], Sequence[object]],
@@ -66,7 +73,14 @@ class MicroBatcher:
         self.requests_served = 0
 
     def submit(self, request: object) -> object:
-        """Submit one request; blocks until its result is available."""
+        """Submit one request; blocks until its result is available.
+
+        The calling thread either becomes the leader of a new batch (and
+        runs ``run_batch`` for everyone after the window closes) or joins
+        the open batch and waits.  Returns this request's entry of the batch
+        result; an exception raised by ``run_batch`` propagates to every
+        waiter of that batch.
+        """
         with self._condition:
             batch = self._open_batch
             if batch is None or batch.closed:

@@ -63,9 +63,21 @@ class FoldInProjector:
     All pseudo-inverses are precomputed once at construction (``m x r`` each),
     so folding a batch of rows is a single matrix product.
 
+    Every method accepts ``rows`` as a dense ``(q, m)``
+    :class:`IntervalMatrix` / ndarray (a 1-D length-``m`` row is promoted to
+    one query row, scalars to degenerate intervals) or a ``(q, m)``
+    :class:`~repro.interval.sparse.SparseIntervalMatrix` of partially
+    observed rows, where ``m`` is the model's item count.
+
     ``kernel`` selects the interval-product kernel
     (:mod:`repro.interval.kernels`) for the latent-feature product of
     :meth:`latent_features`; the scalar fold-in paths are kernel-independent.
+
+    **Batch-invariance guarantee.**  Dense projections run through
+    :func:`batch_invariant_matmul` and sparse projections solve one least
+    squares per row, so each folded row is a pure function of its own input
+    row and the model: stacking rows into larger batches (micro-batching,
+    shard scatter) never changes any result bit.
     """
 
     def __init__(self, decomposition: IntervalDecomposition,

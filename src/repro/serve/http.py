@@ -15,6 +15,13 @@ endpoint pairs, or as a single ``"row": [...]`` — single rows go through the
 :class:`~repro.serve.batching.MicroBatcher`, so concurrent clients share one
 BLAS call without changing any result.
 
+Models are served transparently whatever their on-disk format: single-file
+models get a :class:`~repro.serve.query.QueryEngine`, sharded models
+(published by :class:`~repro.serve.shard.ShardedModelStore`) get a
+:class:`~repro.serve.shard.ShardedQueryEngine` scatter-gather router — the
+two return byte-identical answers, so the wire format of a response does not
+depend on how the model is stored.
+
 Built on ``http.server.ThreadingHTTPServer`` — no dependencies beyond the
 standard library, matching the rest of the package (numpy/scipy only).
 """
@@ -25,6 +32,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
+from zipfile import BadZipFile
 
 import numpy as np
 
@@ -32,8 +40,19 @@ from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.scalar import IntervalError
 from repro.serve.batching import MicroBatcher
-from repro.serve.query import QueryEngine, top_k
+from repro.serve.query import (
+    QueryEngine,
+    TopKResult,
+    top_k,
+    top_k_from_candidates,
+)
+from repro.serve.shard import ShardedModelStore, ShardedQueryEngine
 from repro.serve.store import ModelStore, ModelStoreError
+
+#: Either engine type: the single-model engine or the scatter-gather router.
+#: They share the query API and return byte-identical results, so the HTTP
+#: layer never needs to know whether a model is sharded.
+EngineLike = Union[QueryEngine, ShardedQueryEngine]
 
 #: Upper bound on accepted request bodies (a 1k-item interval row is ~50 kB).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -104,46 +123,119 @@ class ServingApp:
         self.max_batch = max_batch
         self.batch_delay = batch_delay
         self._lock = threading.Lock()
-        self._engines: Dict[str, Tuple[object, QueryEngine]] = {}
+        self._engines: Dict[str, Tuple[object, EngineLike]] = {}
         self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
+        #: Per-model single-flight locks: loading a model is O(model bytes)
+        #: (NPZ decompress + per-shard fingerprint hashing), so concurrent
+        #: first requests must not each load-and-discard their own copy.
+        self._load_locks: Dict[str, threading.Lock] = {}
 
-    def engine(self, name: str) -> QueryEngine:
+    def _current_record(self, name: str):
+        """The model's current store metadata, as a 404 when it is gone."""
+        try:
+            return self.store.record(name)
+        except ModelStoreError as error:
+            self._evict(name)  # deleted models must not pin factors in memory
+            raise RequestError(str(error), status=404) from error
+
+    @staticmethod
+    def _version_of(record) -> Tuple[object, ...]:
+        """The engine-cache key identifying one publish of a model."""
+        return (record.created_at, record.fingerprint, record.method,
+                record.rank, record.shards)
+
+    def _current_version(self, name: str) -> Tuple[object, ...]:
+        """The cache key a model's current publish would be stored under."""
+        return self._version_of(self._current_record(name))
+
+    def engine(self, name: str) -> EngineLike:
         """Engine for a published model, reloaded when the model is republished.
+
+        Sharded models (``record.shards`` set) load through
+        :class:`ShardedModelStore` and serve through a
+        :class:`ShardedQueryEngine` router; single-file models keep the plain
+        :class:`QueryEngine`.  Both return byte-identical answers, so clients
+        cannot tell (and need not care) which format backs a model.
 
         The cached engine is validated against the store's current metadata on
         every access (one small JSON read), so ``repro decompose --save-model``
         over an existing name takes effect without restarting the server.
         A model deleted mid-request surfaces as 404, not a dropped connection.
         """
-        try:
-            record = self.store.record(name)
-        except ModelStoreError as error:
-            self._evict(name)  # deleted models must not pin factors in memory
-            raise RequestError(str(error), status=404) from error
-        version = (record.created_at, record.fingerprint, record.method, record.rank)
+        # (The initial version read happens outside the single-flight lock —
+        # cheap cache hits must not serialize — and is re-read under the
+        # lock before any load.)
+        version = self._current_version(name)
         with self._lock:
             cached = self._engines.get(name)
+            load_lock = self._load_locks.setdefault(name, threading.Lock())
         if cached is not None and cached[0] == version:
             return cached[1]
-        try:
-            decomposition, _ = self.store.load(name)
-        except (ModelStoreError, OSError, IntervalError) as error:
-            # Covers readers racing a delete: metadata read above, factors
-            # unlinked before the NPZ load.
-            self._evict(name)
-            raise RequestError(f"model {name!r} is not loadable: {error}",
-                               status=404) from error
-        engine = QueryEngine(decomposition, kernel=self.kernel)
-        with self._lock:
-            self._engines[name] = (version, engine)
+        # Single-flight per model: loading is O(model bytes), so a burst of
+        # first requests (or requests racing a republish) must produce one
+        # load, not one per thread.  Different models still load in parallel.
+        with load_lock:
+            # Re-read the metadata now that we hold the lock: a republish
+            # may have landed while we waited, and caching fresh factors
+            # under a stale version key would force the next request to
+            # reload them all over again.
+            record = self._current_record(name)
+            version = self._version_of(record)
+            with self._lock:
+                cached = self._engines.get(name)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            try:
+                if record.shards is not None:
+                    shards, manifest = ShardedModelStore(
+                        self.store.directory).load_shards(name)
+                    engine: EngineLike = ShardedQueryEngine(
+                        shards, row_ranges=manifest.row_ranges,
+                        kernel=self.kernel)
+                else:
+                    decomposition, _ = self.store.load(name)
+                    engine = QueryEngine(decomposition, kernel=self.kernel)
+            except (ModelStoreError, OSError, BadZipFile, KeyError,
+                    ValueError) as error:
+                # Covers readers racing a delete (metadata read above,
+                # factors unlinked before the NPZ load), truncated archives,
+                # and not-a-decomposition files (KeyError: a factor array
+                # missing from an externally written NPZ); ValueError
+                # includes IntervalError.
+                self._evict(name)
+                raise RequestError(f"model {name!r} is not loadable: {error}",
+                                   status=404) from error
+            with self._lock:
+                displaced = self._engines.get(name)
+                self._engines[name] = (version, engine)
+        if displaced is not None:
+            self._close_engine(displaced[1])
         return engine
 
+    @staticmethod
+    def _close_engine(engine: object) -> None:
+        """Release a displaced engine's scatter pool without blocking (the
+        engine keeps answering in-flight queries, serially)."""
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close(wait=False)
+
     def _evict(self, name: str) -> None:
-        """Drop a model's cached engine and batchers (e.g. after deletion)."""
+        """Drop a model's cached engine and batchers (e.g. after deletion).
+
+        The per-model load lock deliberately stays: popping it would hand a
+        loader racing an evict+republish a *different* lock object for the
+        same name, breaking single-flight exactly in the window it exists
+        for (a stale loader could then overwrite and close a fresher
+        engine).  A bare ``threading.Lock`` per name ever queried is a few
+        dozen bytes — not worth that race.
+        """
         with self._lock:
-            self._engines.pop(name, None)
+            cached = self._engines.pop(name, None)
             for key in [k for k in self._batchers if k[0] == name]:
                 del self._batchers[key]
+        if cached is not None:
+            self._close_engine(cached[1])
 
     def _batcher(self, name: str, operation: str) -> MicroBatcher:
         def run_batch(requests):
@@ -160,17 +252,39 @@ class ServingApp:
             # request with its own k.  top_k is row-local, so every answer is
             # exactly what a direct single-row call would return — including
             # boundary tie-breaking, which slicing a shared top-max(k) list
-            # would get wrong.
+            # would get wrong.  Neighbour selection ranks on squared
+            # distances (the engines' own selection key) and takes sqrt only
+            # on the per-request winners.
             if operation == "recommend":
                 scores = engine.reconstruct_rows(stacked)
-                largest = True
-            else:
-                scores = engine.neighbor_distances(stacked)
-                largest = False
-            return [
-                top_k(scores[i:i + 1], k, largest=largest)
-                for i, k in enumerate(ks)
-            ]
+                return [
+                    top_k(scores[i:i + 1], k, largest=True)
+                    for i, k in enumerate(ks)
+                ]
+            candidates = getattr(engine, "nearest_neighbor_candidates", None)
+            if candidates is not None:
+                # Sharded engines reduce each shard to top-max(ks) candidates
+                # before the gather, so the batch's working set is
+                # q x (shards * k), not the full q x n distance matrix; the
+                # per-request merge is byte-identical to a direct call for
+                # every k <= max(ks) (top-k lists are prefixes of each other
+                # under the total order).
+                gathered = candidates(stacked, max(ks))
+                results = []
+                for i, k in enumerate(ks):
+                    selected = top_k_from_candidates(
+                        gathered.scores[i:i + 1], gathered.indices[i:i + 1],
+                        k, largest=False)
+                    results.append(TopKResult(selected.indices,
+                                              np.sqrt(selected.scores)))
+                return results
+            squared = engine.neighbor_squared_distances(stacked)
+            results = []
+            for i, k in enumerate(ks):
+                selected = top_k(squared[i:i + 1], k, largest=False)
+                results.append(TopKResult(selected.indices,
+                                          np.sqrt(selected.scores)))
+            return results
 
         with self._lock:
             key = (name, operation)
@@ -351,10 +465,30 @@ def create_server(
 ) -> ServingHTTPServer:
     """Build a ready-to-run threading HTTP server over a model store.
 
-    ``port=0`` binds an ephemeral port (``server.server_address`` has the
-    real one).  Call ``serve_forever()`` to run; each connection is handled
-    on its own thread, and concurrent single-row queries are micro-batched.
-    ``kernel`` selects the interval-product kernel for every served model.
+    Parameters
+    ----------
+    store:
+        A :class:`ModelStore` or a store directory path.  Sharded and
+        single-file models in it are served alike.
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port
+        (``server.server_address`` has the real one).
+    max_batch:
+        Most concurrent single-row queries stacked into one scoring call
+        (per model and operation); ``1`` disables micro-batching.
+    batch_delay:
+        Seconds a batch leader waits for followers (keep at network-jitter
+        scale; it bounds the latency a lone request pays).
+    verbose:
+        Log each request to stderr.
+    kernel:
+        Interval-product kernel every served model's engine is built with.
+
+    Call ``serve_forever()`` to run; each connection is handled on its own
+    thread, and concurrent single-row queries are micro-batched.
+    Micro-batching never changes any answer: the engines' scoring paths are
+    batch-invariant and selection is a total order, so a batched response is
+    byte-identical to the response an idle server would have produced.
     """
     server = ServingHTTPServer((host, port), ServingHandler)
     server.app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,

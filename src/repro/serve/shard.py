@@ -1,0 +1,689 @@
+"""Row-range sharding of published models: planner, store, scatter-gather.
+
+One process bounds both the model size a :class:`~repro.serve.store.ModelStore`
+can hold in memory and the throughput one
+:class:`~repro.serve.query.QueryEngine` can sustain.  This module splits a
+published decomposition along the *row* dimension of ``U`` — the dimension
+that grows with users — while replicating the item-side factors (``Sigma``,
+``V``, and therefore the item map), which stay small:
+
+* :class:`ShardPlanner` — splits a fitted decomposition into contiguous
+  row-range shards of ``U`` (each shard is itself a complete, self-describing
+  :class:`~repro.core.result.IntervalDecomposition`);
+* :class:`ShardedModelStore` — publishes the shards as per-shard NPZ archives
+  (``<name>.shard-NN.npz``) next to the single-file format, each written
+  atomically and the metadata last, with per-shard content fingerprints
+  verified on load;
+* :class:`ShardedQueryEngine` — a router with the same query API as
+  :class:`~repro.serve.query.QueryEngine` that *scatters* work across one
+  engine per shard (thread fan-out over a shared pool) and *gathers* with a
+  byte-stable merge.
+
+**Why the gather is byte-stable.**  Every scoring path in the serving layer
+is row-local (einsum fold-in, per-row least squares, element-local
+distances), so a shard's scores are bit-identical to the matching slice of
+the unsharded computation; and every selection ranks under
+:func:`~repro.serve.query.top_k`'s total order (score, then ascending
+index), so merging per-shard top-k lists with
+:func:`~repro.serve.query.top_k_from_candidates` provably reproduces the
+unsharded selection.  The parity suite asserts byte-identical results across
+shard counts, ranks and tie-heavy inputs (``tests/test_serve_shard.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro import io as repro_io
+from repro.core.result import FactorMatrix, IntervalDecomposition
+from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike
+from repro.interval.sparse import is_sparse_interval
+from repro.serve.foldin import FoldInProjector, Rows
+from repro.serve.query import (
+    QueryEngine,
+    TopKResult,
+    top_k,
+    top_k_from_candidates,
+)
+from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
+
+RowRanges = Tuple[Tuple[int, int], ...]
+
+
+def plan_row_ranges(n_rows: int, n_shards: int) -> RowRanges:
+    """Contiguous, near-equal ``(start, stop)`` row ranges covering ``n_rows``.
+
+    The first ``n_rows % n_shards`` ranges hold one extra row
+    (``numpy.array_split`` semantics), so shard sizes differ by at most one.
+    Every shard must own at least one row: ``n_shards`` may not exceed
+    ``n_rows``.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_rows < n_shards:
+        raise ValueError(
+            f"cannot split {n_rows} rows into {n_shards} non-empty shards"
+        )
+    base, extra = divmod(n_rows, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(n_shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
+
+
+def _slice_factor_rows(factor: FactorMatrix, start: int, stop: int) -> FactorMatrix:
+    if isinstance(factor, IntervalMatrix):
+        return IntervalMatrix(factor.lower[start:stop], factor.upper[start:stop],
+                              check=False)
+    return np.asarray(factor)[start:stop]
+
+
+def _factors_equal(a: FactorMatrix, b: FactorMatrix) -> bool:
+    a_interval = isinstance(a, IntervalMatrix)
+    if a_interval != isinstance(b, IntervalMatrix):
+        return False
+    if a_interval:
+        return (np.array_equal(a.lower, b.lower)
+                and np.array_equal(a.upper, b.upper))
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+class ShardPlanner:
+    """Splits a fitted decomposition into row-range shards of ``U``.
+
+    Each shard is a complete :class:`IntervalDecomposition` over its row
+    range: its ``U`` is a contiguous row slice of the original, while
+    ``Sigma`` and ``V`` (and therefore the item map the fold-in projector
+    inverts) are replicated — they are ``r x r`` and ``m x r``, small next to
+    the ``n x r`` user factor that sharding is for.  Shard metadata records
+    the shard index and row range.
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def plan(self, n_rows: int) -> RowRanges:
+        """The ``(start, stop)`` row ranges this planner assigns."""
+        return plan_row_ranges(n_rows, self.n_shards)
+
+    def split(self, decomposition: IntervalDecomposition) -> List[IntervalDecomposition]:
+        """Shard ``decomposition`` into one decomposition per row range."""
+        ranges = self.plan(int(decomposition.shape[0]))
+        shards = []
+        for index, (start, stop) in enumerate(ranges):
+            shards.append(IntervalDecomposition(
+                u=_slice_factor_rows(decomposition.u, start, stop),
+                sigma=decomposition.sigma,
+                v=decomposition.v,
+                target=decomposition.target,
+                method=decomposition.method,
+                rank=decomposition.rank,
+                metadata={"shard_index": index, "shard_of": self.n_shards,
+                          "row_range": (start, stop)},
+            ))
+        return shards
+
+
+def _check_same_model(shards: Sequence[IntervalDecomposition], action: str) -> None:
+    """Enforce the replication invariant: every shard carries bitwise-equal
+    item factors (``Sigma``/``V``) and matching rank/target/method.  Anything
+    else means the shards come from different models, and ``action``-ing
+    them would silently mix two models' rows."""
+    first = shards[0]
+    for shard in shards[1:]:
+        if (shard.rank != first.rank or shard.target is not first.target
+                or shard.method != first.method
+                or not _factors_equal(shard.sigma, first.sigma)
+                or not _factors_equal(shard.v, first.v)):
+            raise ValueError(
+                "shards disagree on their replicated item factors or "
+                f"metadata; refusing to {action} shards of different models"
+            )
+
+
+def merge_shards(shards: Sequence[IntervalDecomposition]) -> IntervalDecomposition:
+    """Reassemble row-range shards into one decomposition (inverse of
+    :meth:`ShardPlanner.split`).
+
+    The shards' ``U`` rows are concatenated in order; the replicated item
+    factors must be bitwise identical across shards (anything else means the
+    shards come from different models, and merging would silently mix them).
+    """
+    if not shards:
+        raise ValueError("merge_shards needs at least one shard")
+    first = shards[0]
+    _check_same_model(shards, "merge")
+    interval_u = isinstance(first.u, IntervalMatrix)
+    if any(isinstance(s.u, IntervalMatrix) != interval_u for s in shards):
+        raise ValueError("shards mix interval and scalar U factors")
+    if interval_u:
+        u: FactorMatrix = IntervalMatrix(
+            np.vstack([s.u.lower for s in shards]),
+            np.vstack([s.u.upper for s in shards]),
+            check=False,
+        )
+    else:
+        u = np.vstack([np.asarray(s.u) for s in shards])
+    return IntervalDecomposition(
+        u=u, sigma=first.sigma, v=first.v, target=first.target,
+        method=first.method, rank=first.rank,
+    )
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Shard-level metadata of one sharded model, from its JSON sidecar."""
+
+    record: ModelRecord
+    """The base model record (``record.shards`` is the shard count)."""
+
+    row_ranges: RowRanges
+    """``(start, stop)`` row range of each shard, in shard order."""
+
+    fingerprints: Optional[Tuple[str, ...]]
+    """Per-shard :func:`repro.io.decomposition_fingerprint` values recorded
+    at publish time (``None`` for manifests written without them)."""
+
+
+class ShardedModelStore(ModelStore):
+    """A :class:`ModelStore` that also publishes and loads sharded models.
+
+    Shares the directory (and every read path) with the base store; adds the
+    sharded publish format: ``<name>.shard-NN.npz`` row-range archives plus a
+    ``<name>.json`` manifest carrying the shard count, the row ranges, and a
+    content fingerprint per shard.  Shard files are written first (each
+    individually atomic), the manifest last.
+
+    **Republish semantics.**  A fresh publish under a new name is invisible
+    until its manifest lands.  Republishing an *existing* sharded name
+    replaces the shard files in place, so a reader racing the publisher can
+    observe a mixed set — which the per-shard fingerprints (recorded by
+    every publish this class writes) detect: the read fails loudly with
+    :class:`ModelStoreError` instead of serving rows from two different
+    publishes, and the serving layer surfaces it as a transient 404 that
+    clears when the manifest lands.  Only a hand-written manifest that omits
+    its ``shard_fingerprints`` gives up that protection.  (Fully hitless
+    sharded republish needs generation-versioned shard archives — a ROADMAP
+    item.)
+    """
+
+    def save_sharded(
+        self,
+        name: str,
+        decomposition: IntervalDecomposition,
+        n_shards: int,
+        matrix=None,
+        fingerprint: Optional[str] = None,
+    ) -> ModelRecord:
+        """Split ``decomposition`` into ``n_shards`` row-range shards and
+        publish them under ``name`` (replacing any existing model).
+
+        ``matrix`` / ``fingerprint`` record the training data exactly as in
+        :meth:`ModelStore.save`.  Returns the published record
+        (``record.shards == n_shards``).
+        """
+        self.check_publish_name(name)
+        planner = ShardPlanner(n_shards)
+        shards = planner.split(decomposition)
+        row_ranges = planner.plan(int(decomposition.shape[0]))
+        for index in range(n_shards):
+            # A legacy model literally named '<name>.shard-NN' (published
+            # before that suffix was reserved) owns this shard's archive
+            # path; overwriting it would silently corrupt that model.
+            squatter = self._shard_path(name, index).name[: -len(".npz")]
+            if self._meta_path(squatter).exists():
+                raise ModelStoreError(
+                    f"cannot publish {name!r} with {n_shards} shards: a "
+                    f"model named {squatter!r} already owns the file "
+                    f"{self._shard_path(name, index).name}; delete or "
+                    "rename it first"
+                )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if fingerprint is None and matrix is not None:
+            fingerprint = repro_io.interval_fingerprint(matrix)
+        shard_fingerprints = []
+        for index, shard in enumerate(shards):
+            with repro_io.atomic_write(self._shard_path(name, index)) as tmp:
+                repro_io.save_decomposition_npz(shard, tmp)
+            shard_fingerprints.append(repro_io.decomposition_fingerprint(shard))
+        record = ModelRecord(
+            name=name,
+            method=decomposition.method,
+            target=decomposition.target.value,
+            rank=decomposition.rank,
+            shape=tuple(int(n) for n in decomposition.shape),
+            fingerprint=fingerprint,
+            created_at=time.time(),
+            shards=n_shards,
+        )
+        payload = record.to_dict()
+        payload["row_ranges"] = [list(row_range) for row_range in row_ranges]
+        payload["shard_fingerprints"] = shard_fingerprints
+        with repro_io.atomic_write(self._meta_path(name)) as tmp:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # A republish may shrink the shard count or replace a single-file
+        # model; drop the files the new manifest no longer references.
+        self._remove_stale_shards(name, keep=n_shards)
+        with contextlib.suppress(FileNotFoundError):  # racing republishers
+            self._npz_path(name).unlink()
+        return record
+
+    def manifest(self, name: str) -> ShardManifest:
+        """Shard-level metadata of one published sharded model.
+
+        Record and shard layout are parsed from a *single* sidecar read, so
+        a concurrent republish can never mix one publish's record with
+        another's row ranges or fingerprints.
+        """
+        payload = self._read_meta(name)
+        record = self._record_from_payload(name, payload)
+        if record.shards is None:
+            raise ModelStoreError(
+                f"model {name!r} is a single-file model, not a sharded one"
+            )
+        raw_ranges = payload.get("row_ranges")
+        if raw_ranges is None:
+            # Manifests are written with explicit ranges, but the split is
+            # deterministic, so a hand-written manifest can omit them.
+            row_ranges = plan_row_ranges(record.shape[0], record.shards)
+        else:
+            try:
+                row_ranges = tuple((int(a), int(b)) for a, b in raw_ranges)
+            except (TypeError, ValueError) as error:
+                raise ModelStoreError(
+                    f"manifest of {name!r} has malformed row_ranges: {error}"
+                ) from error
+        raw_fingerprints = payload.get("shard_fingerprints")
+        fingerprints = (None if raw_fingerprints is None
+                        else tuple(str(f) for f in raw_fingerprints))
+        if len(row_ranges) != record.shards:
+            raise ModelStoreError(
+                f"manifest of {name!r} is inconsistent: {record.shards} shards "
+                f"but {len(row_ranges)} row ranges"
+            )
+        if fingerprints is not None and len(fingerprints) != record.shards:
+            raise ModelStoreError(
+                f"manifest of {name!r} is inconsistent: {record.shards} shards "
+                f"but {len(fingerprints)} shard fingerprints"
+            )
+        return ShardManifest(record=record, row_ranges=row_ranges,
+                             fingerprints=fingerprints)
+
+    def load_shards(
+        self, name: str, verify: bool = True,
+    ) -> Tuple[List[IntervalDecomposition], ShardManifest]:
+        """Load every row-range shard of a sharded model, in shard order.
+
+        With ``verify=True`` (the default) each shard's content hash is
+        checked against the fingerprint recorded at publish time, so a shard
+        file that was swapped between models, truncated, or otherwise
+        corrupted raises :class:`ModelStoreError` instead of silently serving
+        the wrong rows.
+        """
+        manifest = self.manifest(name)
+        shards = []
+        for index, (start, stop) in enumerate(manifest.row_ranges):
+            path = self._shard_path(name, index)
+            try:
+                shard = repro_io.load_decomposition_npz(path)
+            except FileNotFoundError:
+                raise ModelStoreError(
+                    f"model {name!r} is missing shard file {path.name}"
+                ) from None
+            except (OSError, BadZipFile, KeyError, ValueError) as error:
+                # ValueError covers IntervalError (not-a-decomposition
+                # archives) and numpy's unpickling complaints; BadZipFile is
+                # what a truncated publish actually raises.
+                raise ModelStoreError(
+                    f"shard file {path.name} of model {name!r} is not "
+                    f"loadable: {error}"
+                ) from error
+            if int(shard.shape[0]) != stop - start:
+                raise ModelStoreError(
+                    f"shard {index} of {name!r} holds {shard.shape[0]} rows "
+                    f"but the manifest assigns it rows [{start}, {stop})"
+                )
+            if verify and manifest.fingerprints is not None:
+                actual = repro_io.decomposition_fingerprint(shard)
+                if actual != manifest.fingerprints[index]:
+                    raise ModelStoreError(
+                        f"shard {index} of {name!r} does not match its "
+                        "published fingerprint (swapped or corrupted shard "
+                        "file?)"
+                    )
+            shards.append(shard)
+        return shards, manifest
+
+    def load_merged(self, name: str) -> Tuple[IntervalDecomposition, ModelRecord]:
+        """Load any model — sharded or single-file — as one decomposition.
+
+        Sharded models are reassembled with :func:`merge_shards`; single-file
+        models delegate to :meth:`ModelStore.load`.  The tool path for
+        resharding (``repro shard``) and offline analysis.
+        """
+        record = self.record(name)
+        if record.shards is None:
+            return self.load(name)
+        shards, manifest = self.load_shards(name)
+        return merge_shards(shards), manifest.record
+
+
+class ShardedQueryEngine:
+    """Scatter-gather router over one :class:`QueryEngine` per row-range shard.
+
+    Mirrors the :class:`QueryEngine` query API (``top_k_items``,
+    ``nearest_neighbors``, ``reconstruct_rows``, ``scores_for_users``,
+    ``top_k_for_users``, ``neighbor_distances``) and returns **byte-identical
+    results**: the same indices and the same score bits the unsharded engine
+    would produce over the merged model.  What changes is the execution
+    shape:
+
+    * *item-space queries* (``top_k_items``, ``reconstruct_rows``) scatter
+      contiguous chunks of the query batch across the shard engines — every
+      shard replicates the item map, and the scoring paths are row-local, so
+      any partition of the batch concatenates to the same bytes;
+    * *reference-space queries* (``nearest_neighbors``) fold the queries in
+      once, scatter the distance computation so each shard scores only its
+      own row range of stored users, reduce per shard with
+      :func:`~repro.serve.query.top_k`, and gather with
+      :func:`~repro.serve.query.top_k_from_candidates` under the same total
+      order — selecting on squared distances and deferring ``sqrt`` to the
+      ``min(k, n)`` selected entries instead of the full ``q x n`` matrix;
+    * *stored-user queries* (``scores_for_users``) route each index to the
+      shard that owns its row range and reassemble rows in query order.
+
+    Scatter runs on a lazily created thread pool with one worker per shard
+    (numpy releases the GIL in the hot paths).  The pool is an execution
+    detail: results never depend on thread scheduling.
+
+    Parameters
+    ----------
+    shards:
+        Per-shard decompositions in row order, e.g. from
+        :meth:`ShardPlanner.split` or :meth:`ShardedModelStore.load_shards`.
+    row_ranges:
+        The ``(start, stop)`` global row range of each shard.  Defaults to
+        contiguous ranges derived from the shard row counts; pass the
+        manifest's ranges when loading from a store.
+    kernel:
+        Interval-product kernel for every shard engine (see
+        :class:`QueryEngine`).
+    """
+
+    def __init__(self, shards: Sequence[IntervalDecomposition],
+                 row_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+                 kernel: KernelLike = None):
+        if not shards:
+            raise ValueError("ShardedQueryEngine needs at least one shard")
+        # The design invariant: item factors are bitwise replicas.  A shard
+        # from a different model would otherwise silently fold queries
+        # through one model's projector and score against the other's
+        # references.
+        _check_same_model(shards, "route across")
+        # The item-side factors are replicated across shards, so the fold-in
+        # projector (and its pseudo-inverse SVDs) is computed once and shared
+        # by every shard engine.
+        shared_projector = FoldInProjector(shards[0], kernel=kernel)
+        self.engines = [QueryEngine(shard, projector=shared_projector)
+                        for shard in shards]
+        first = self.engines[0]
+        counts = [engine.n_users for engine in self.engines]
+        if row_ranges is None:
+            stops = np.cumsum(counts)
+            row_ranges = tuple(
+                (int(stop - count), int(stop))
+                for count, stop in zip(counts, stops)
+            )
+        else:
+            row_ranges = tuple((int(a), int(b)) for a, b in row_ranges)
+            if len(row_ranges) != len(self.engines):
+                raise ValueError(
+                    f"{len(row_ranges)} row ranges for {len(self.engines)} "
+                    "shards"
+                )
+            expected_start = 0
+            for (start, stop), count in zip(row_ranges, counts):
+                if start != expected_start or stop - start != count:
+                    raise ValueError(
+                        f"row ranges {row_ranges} do not contiguously cover "
+                        f"the shard row counts {counts}"
+                    )
+                expected_start = stop
+        self.row_ranges: RowRanges = row_ranges
+        self._starts = np.array([start for start, _ in row_ranges])
+        #: Total stored rows across every shard.
+        self.n_users = int(sum(counts))
+        self.n_items = first.n_items
+        #: The replicated item-space state; identical in every shard engine.
+        self.projector = first.projector
+        self.item_map = first.item_map
+        #: How many chunks item-space queries scatter into.  Unlike the
+        #: reference-space scatter (structurally one task per shard), batch
+        #: chunking is a free choice — row-local scoring makes any chunking
+        #: byte-identical — so it adapts to the cores actually available:
+        #: fanning a single CPU out over four threads would only add
+        #: scheduling overhead to every request.
+        self._scatter_width = max(1, min(len(self.engines), os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Scatter plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of row-range shards behind this router."""
+        return len(self.engines)
+
+    def _run(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run thunks, fanning out across the shard pool when there are
+        several (and more than one core to fan out over); order of results
+        always matches order of tasks, and results never depend on which
+        path executed them."""
+        if len(tasks) <= 1 or self._scatter_width == 1:
+            return [task() for task in tasks]
+        with self._pool_lock:
+            # Submission happens under the lock so close() can never land
+            # between the closed-check and the submits; the lock guards only
+            # queue puts, never task execution, so concurrent callers do not
+            # serialize behind each other's computations.
+            if self._closed:
+                futures = None
+            else:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=len(self.engines),
+                        thread_name_prefix="repro-shard",
+                    )
+                futures = [self._pool.submit(task) for task in tasks]
+        if futures is None:  # closed: keep answering, just serially
+            return [task() for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the scatter pool (idempotent; the engine stays usable,
+        running serially afterwards).
+
+        ``wait=False`` returns without joining the workers — what the HTTP
+        layer uses when it replaces or evicts a cached engine, so request
+        threads never block on a displaced engine's pool; in-flight scatter
+        tasks still run to completion.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _coerce_rows(self, rows: Rows):
+        return self.projector._coerce_rows(rows)
+
+    def _split_rows(self, rows) -> List[object]:
+        """Contiguous row chunks of a (coerced) query batch, one per scatter
+        slot at most; row-local scoring makes the cut points irrelevant to
+        the answers."""
+        n_chunks = min(self._scatter_width, rows.shape[0])
+        if n_chunks <= 1:
+            return [rows]
+        chunks = []
+        for start, stop in plan_row_ranges(rows.shape[0], n_chunks):
+            if is_sparse_interval(rows):
+                chunks.append(rows.rows(np.arange(start, stop)))
+            else:
+                chunks.append(IntervalMatrix(rows.lower[start:stop],
+                                             rows.upper[start:stop],
+                                             check=False))
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    # Item-space queries (scatter the batch; item factors are replicated)
+    # ------------------------------------------------------------------ #
+    def reconstruct_rows(self, user_rows: Rows) -> np.ndarray:
+        """Predicted scores (``q x m``) for unseen rows; bit-equal to the
+        unsharded :meth:`QueryEngine.reconstruct_rows`."""
+        rows = self._coerce_rows(user_rows)
+        chunks = self._split_rows(rows)
+        blocks = self._run([
+            (lambda engine=engine, chunk=chunk: engine.reconstruct_rows(chunk))
+            for engine, chunk in zip(self.engines, chunks)
+        ])
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    def top_k_items(self, user_rows: Rows, k: int) -> TopKResult:
+        """Best-``k`` items per query row; bit-equal to the unsharded
+        :meth:`QueryEngine.top_k_items` (selection is row-local, so chunks
+        gather by simple concatenation in batch order)."""
+        rows = self._coerce_rows(user_rows)
+        chunks = self._split_rows(rows)
+        results = self._run([
+            (lambda engine=engine, chunk=chunk: engine.top_k_items(chunk, k))
+            for engine, chunk in zip(self.engines, chunks)
+        ])
+        if len(results) == 1:
+            return results[0]
+        return TopKResult(np.vstack([r.indices for r in results]),
+                          np.vstack([r.scores for r in results]))
+
+    # ------------------------------------------------------------------ #
+    # Reference-space queries (scatter the stored rows; gather by merge)
+    # ------------------------------------------------------------------ #
+    def neighbor_squared_distances(self, query_rows: Rows) -> np.ndarray:
+        """Squared distances (``q x n``) to every stored row across all
+        shards, gathered in global row order; bit-equal to the unsharded
+        matrix (each entry is element-local)."""
+        features = self.projector.latent_features(self._coerce_rows(query_rows))
+        blocks = self._run([
+            (lambda engine=engine: engine.squared_distances_to_references(features))
+            for engine in self.engines
+        ])
+        return blocks[0] if len(blocks) == 1 else np.hstack(blocks)
+
+    def neighbor_distances(self, query_rows: Rows) -> np.ndarray:
+        """Interval distances (``q x n``) to every stored row."""
+        return np.sqrt(self.neighbor_squared_distances(query_rows))
+
+    def _scatter_candidates(self, features, k: int) -> TopKResult:
+        """Each shard's local top-``k`` on squared distances, with global
+        indices, concatenated in shard order (not yet globally merged)."""
+
+        def local_top_k(engine: QueryEngine, start: int) -> TopKResult:
+            squared = engine.squared_distances_to_references(features)
+            local = top_k(squared, k, largest=False)
+            return TopKResult(local.indices + start, local.scores)
+
+        results = self._run([
+            (lambda engine=engine, start=start: local_top_k(engine, start))
+            for engine, (start, _) in zip(self.engines, self.row_ranges)
+        ])
+        if len(results) == 1:
+            return results[0]
+        return TopKResult(np.hstack([r.indices for r in results]),
+                          np.hstack([r.scores for r in results]))
+
+    def nearest_neighbor_candidates(self, query_rows: Rows, k: int) -> TopKResult:
+        """Cross-shard candidate lists for top-``k`` neighbour selection.
+
+        Returns per-row global stored-row indices and **squared** distances
+        of each shard's local top-``k`` (``<= n_shards * k`` candidates per
+        row, in shard order, not globally merged).  Because :func:`top_k`
+        lists are prefixes of each other under the total order, merging
+        these candidates with :func:`top_k_from_candidates` reproduces
+        :meth:`nearest_neighbors` bit for bit for *any* ``k' <= k`` — which
+        is how the HTTP micro-batcher serves mixed-``k`` request batches
+        from one scatter whose working set is ``q x (n_shards * k)`` instead
+        of the full ``q x n`` distance matrix.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        features = self.projector.latent_features(self._coerce_rows(query_rows))
+        return self._scatter_candidates(features, k)
+
+    def nearest_neighbors(self, query_rows: Rows, k: int) -> TopKResult:
+        """``k`` nearest stored rows per query row, merged across shards.
+
+        Each shard reduces its own row range to a local top-``k`` on squared
+        distances; the gather step selects among the ``<= n_shards * k``
+        labelled candidates under the same (score, index) total order, which
+        provably reproduces the unsharded selection bit for bit.  ``sqrt``
+        runs only on the returned entries.
+        """
+        candidates = self.nearest_neighbor_candidates(query_rows, k)
+        merged = top_k_from_candidates(candidates.scores, candidates.indices,
+                                       min(k, self.n_users), largest=False)
+        return TopKResult(merged.indices, np.sqrt(merged.scores))
+
+    # ------------------------------------------------------------------ #
+    # Stored-user queries (route indices to their owning shards)
+    # ------------------------------------------------------------------ #
+    def scores_for_users(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Predicted scores of stored users (all of them by default), rows in
+        query order; bit-equal to the unsharded
+        :meth:`QueryEngine.scores_for_users`."""
+        if indices is None:
+            blocks = self._run([
+                (lambda engine=engine: engine.scores_for_users())
+                for engine in self.engines
+            ])
+            return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+        indices = np.asarray(indices, dtype=int)
+        flat = np.where(indices < 0, indices + self.n_users, indices)
+        if flat.size and (flat.min() < 0 or flat.max() >= self.n_users):
+            raise IndexError(
+                f"user index out of range for {self.n_users} stored rows"
+            )
+        owner = np.searchsorted(self._starts, flat, side="right") - 1
+        tasks = []
+        masks = []
+        for shard, (start, _) in enumerate(self.row_ranges):
+            mask = owner == shard
+            if not mask.any():
+                continue
+            local = flat[mask] - start
+            tasks.append(lambda engine=self.engines[shard], local=local:
+                         engine.scores_for_users(local))
+            masks.append(mask)
+        out = np.empty((flat.size, self.n_items), dtype=float)
+        for mask, block in zip(masks, self._run(tasks)):
+            out[mask] = block
+        return out
+
+    def top_k_for_users(self, indices: Sequence[int], k: int) -> TopKResult:
+        """Best-``k`` items for stored users, from their trained latent rows."""
+        return top_k(self.scores_for_users(indices), k, largest=True)

@@ -1,21 +1,28 @@
 """Persistent store of fitted decompositions ("models") for online serving.
 
-A :class:`ModelStore` is a directory holding one published model per name:
+A :class:`ModelStore` is a directory holding one published model per name,
+in one of two on-disk formats (see ``docs/OPERATIONS.md`` for the full
+layout):
 
-* ``<name>.npz`` — the factors, via the :mod:`repro.io` decomposition
-  round-trip (so anything the registry can fit can be served);
-* ``<name>.json`` — metadata: method key, decomposition target, rank, the
-  shape of the training matrix, its :func:`repro.io.interval_fingerprint`,
-  and the creation time.
+* **single-file** — ``<name>.npz``: the factors, via the :mod:`repro.io`
+  decomposition round-trip (so anything the registry can fit can be served);
+* **sharded** — ``<name>.shard-00.npz`` … ``<name>.shard-NN.npz``: row-range
+  shards of ``U`` with the item factors replicated per shard, published by
+  :class:`~repro.serve.shard.ShardedModelStore`.
 
-Both files are written through :func:`repro.io.atomic_write` (temp file +
-``os.replace``), and the metadata file is written *last*, so a concurrent
-reader — the HTTP service lists and loads models while publishers write —
-either sees a complete model or does not see it at all.
+Either way ``<name>.json`` carries the metadata: method key, decomposition
+target, rank, the shape of the training matrix, its
+:func:`repro.io.interval_fingerprint`, the creation time, and (sharded
+models only) the shard count.  All files are written through
+:func:`repro.io.atomic_write` (temp file + ``os.replace``), and the metadata
+file is written *last*, so a concurrent reader — the HTTP service lists and
+loads models while publishers write — either sees a complete model or does
+not see it at all.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import re
 import time
@@ -32,6 +39,11 @@ PathLike = Union[str, Path]
 #: Model names are path-safe slugs: no separators, no leading dot.
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
+#: Names ending like a shard archive stem are reserved: a model literally
+#: named ``x.shard-01`` would share its ``.npz`` path with shard 1 of a
+#: sharded model ``x``, so publishing either would corrupt the other.
+_RESERVED_SUFFIX = re.compile(r"\.shard-\d+$")
+
 
 class ModelStoreError(ValueError):
     """Raised for invalid model names and missing models."""
@@ -39,7 +51,15 @@ class ModelStoreError(ValueError):
 
 @dataclass(frozen=True)
 class ModelRecord:
-    """Metadata of one published model, as stored in its JSON sidecar."""
+    """Metadata of one published model, as stored in its JSON sidecar.
+
+    ``shards`` is ``None`` for the single-file format and the shard count for
+    models published by
+    :class:`~repro.serve.shard.ShardedModelStore` — whose factors live in
+    ``<name>.shard-NN.npz`` row-range archives instead of ``<name>.npz``.
+    Single-file sidecars stay byte-compatible with earlier releases (the key
+    is simply absent).
+    """
 
     name: str
     method: str
@@ -48,16 +68,22 @@ class ModelRecord:
     shape: tuple
     fingerprint: Optional[str]
     created_at: float
+    shards: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the sidecar and the HTTP API)."""
         payload = asdict(self)
         payload["shape"] = list(self.shape)
+        if self.shards is None:
+            del payload["shards"]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ModelRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates sidecars without ``shards``)."""
+        shards = payload.get("shards")
+        if shards is not None and int(shards) < 1:
+            raise ValueError(f"invalid shard count {shards!r}")
         return cls(
             name=str(payload["name"]),
             method=str(payload["method"]),
@@ -67,6 +93,7 @@ class ModelRecord:
             fingerprint=(None if payload.get("fingerprint") is None
                          else str(payload["fingerprint"])),
             created_at=float(payload["created_at"]),
+            shards=None if shards is None else int(shards),
         )
 
 
@@ -93,11 +120,45 @@ class ModelStore:
             )
         return name
 
+    @classmethod
+    def check_publish_name(cls, name: str) -> str:
+        """Validate a name for *publishing* (returns it, raises otherwise).
+
+        Beyond the path-safety every store operation enforces, publishing
+        rejects names ending in ``.shard-NN``: such a model would share its
+        archive path with a shard of sharded model ``<name-without-suffix>``,
+        and publishing either would corrupt the other.  Read and delete
+        paths stay tolerant so models published under earlier releases with
+        such names remain loadable and removable.  Public so the CLI can
+        fail fast on a bad name before spending minutes fitting or hashing.
+        """
+        cls._check_name(name)
+        if _RESERVED_SUFFIX.search(name):
+            raise ModelStoreError(
+                f"invalid model name {name!r}: the '.shard-NN' suffix is "
+                "reserved for shard archives of sharded models"
+            )
+        return name
+
     def _npz_path(self, name: str) -> Path:
         return self.directory / f"{name}.npz"
 
     def _meta_path(self, name: str) -> Path:
         return self.directory / f"{name}.json"
+
+    def _shard_path(self, name: str, index: int) -> Path:
+        return self.directory / f"{name}.shard-{index:02d}.npz"
+
+    def _factor_paths(self, name: str, record: "ModelRecord") -> List[Path]:
+        """Every factor archive a complete model named ``name`` requires.
+
+        Driven by the metadata's shard count, not by ``record.name``, so a
+        sidecar copied under a different file name cannot point completeness
+        checks at another model's factors.
+        """
+        if record.shards is not None:
+            return [self._shard_path(name, i) for i in range(record.shards)]
+        return [self._npz_path(name)]
 
     # ------------------------------------------------------------------ #
     # Publish / load
@@ -115,7 +176,7 @@ class ModelStore:
         model was fitted on, so consumers can detect stale models.  Factors are
         written before metadata; each write is atomic.
         """
-        self._check_name(name)
+        self.check_publish_name(name)
         self.directory.mkdir(parents=True, exist_ok=True)
         if fingerprint is None and matrix is not None:
             fingerprint = repro_io.interval_fingerprint(matrix)
@@ -132,32 +193,112 @@ class ModelStore:
             repro_io.save_decomposition_npz(decomposition, tmp)
         with repro_io.atomic_write(self._meta_path(name)) as tmp:
             tmp.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
+        self._remove_stale_shards(name, keep=0)
         return record
 
-    def exists(self, name: str) -> bool:
-        """True when a complete model (factors + metadata) is published."""
-        self._check_name(name)
-        return self._meta_path(name).exists() and self._npz_path(name).exists()
+    def _owned_shard_paths(self, name: str) -> List[Tuple[int, Path]]:
+        """``(index, path)`` of every existing shard archive owned by ``name``.
 
-    def record(self, name: str) -> ModelRecord:
-        """Metadata of one published model."""
+        Files whose stem is itself a *published* model (a legacy model
+        literally named ``<name>.shard-07``) are excluded — they belong to
+        that model, whatever their name suggests.
+        """
+        pattern = re.compile(re.escape(name) + r"\.shard-(\d+)\.npz$")
+        if not self.directory.is_dir():
+            return []
+        owned = []
+        for path in sorted(self.directory.glob(f"{name}.shard-*.npz")):
+            match = pattern.match(path.name)
+            if match is None:
+                continue
+            if self._meta_path(path.name[: -len(".npz")]).exists():
+                continue  # a real model owns this file name
+            owned.append((int(match.group(1)), path))
+        return owned
+
+    def _remove_stale_shards(self, name: str, keep: int) -> None:
+        """Unlink ``<name>.shard-NN.npz`` files with ``NN >= keep``.
+
+        Called after a publish replaces a sharded model with a single-file
+        one (``keep=0``) or with fewer shards, so stale row-range archives do
+        not linger.
+        """
+        for index, path in self._owned_shard_paths(name):
+            if index < keep:
+                continue
+            with contextlib.suppress(FileNotFoundError):
+                path.unlink()
+
+    def exists(self, name: str) -> bool:
+        """True when a complete model (metadata + every factor archive) is
+        published — ``<name>.npz`` for single-file models, all
+        ``<name>.shard-NN.npz`` row-range archives for sharded ones."""
+        self._check_name(name)
+        if not self._meta_path(name).exists():
+            return False
+        try:
+            record = self.record(name)
+        except (ModelStoreError, OSError):
+            # OSError covers foreign filesystem entries squatting on the
+            # sidecar path (a *directory* named <name>.json, unreadable
+            # files...) — not-a-model, like list() treats them.
+            return False
+        return all(path.exists() for path in self._factor_paths(name, record))
+
+    def _read_meta(self, name: str) -> Dict[str, object]:
+        """One consistent read of a model's JSON sidecar (its raw payload).
+
+        Both :meth:`record` and the sharded store's ``manifest`` parse the
+        same single read, so a concurrent republish can never pair one
+        publish's record with another's shard layout.
+        """
         self._check_name(name)
         try:
             payload = json.loads(self._meta_path(name).read_text())
-            return ModelRecord.from_dict(payload)
         except FileNotFoundError:
             raise ModelStoreError(
                 f"no model named {name!r} in {self.directory}; "
                 f"available: {', '.join(r.name for r in self.list()) or '(none)'}"
             ) from None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ModelStoreError(
+                f"{self._meta_path(name)} is not a model metadata file: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ModelStoreError(
+                f"{self._meta_path(name)} is not a model metadata file"
+            )
+        return payload
+
+    def _record_from_payload(self, name: str,
+                             payload: Dict[str, object]) -> ModelRecord:
+        """Parse a sidecar payload, wrapping malformed ones in store errors."""
+        try:
+            return ModelRecord.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
             raise ModelStoreError(
                 f"{self._meta_path(name)} is not a model metadata file: {error}"
             ) from error
 
+    def record(self, name: str) -> ModelRecord:
+        """Metadata of one published model."""
+        return self._record_from_payload(name, self._read_meta(name))
+
     def load(self, name: str) -> Tuple[IntervalDecomposition, ModelRecord]:
-        """Load a model's ``(decomposition, record)`` pair."""
+        """Load a single-file model's ``(decomposition, record)`` pair.
+
+        Sharded models have no monolithic factor archive; load them through
+        :meth:`repro.serve.shard.ShardedModelStore.load_shards` (per-shard)
+        or :meth:`~repro.serve.shard.ShardedModelStore.load_merged`
+        (reassembled).
+        """
         record = self.record(name)
+        if record.shards is not None:
+            raise ModelStoreError(
+                f"model {name!r} is sharded into {record.shards} row-range "
+                "shards; load it with ShardedModelStore.load_shards() or "
+                "ShardedModelStore.load_merged()"
+            )
         decomposition = repro_io.load_decomposition_npz(self._npz_path(name))
         return decomposition, record
 
@@ -176,21 +317,41 @@ class ModelStore:
             if meta_path.name.startswith("."):
                 continue  # in-flight temp file
             name = meta_path.stem
-            if not self._npz_path(name).exists():
-                continue
             try:
-                records.append(ModelRecord.from_dict(json.loads(meta_path.read_text())))
-            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                record = self._record_from_payload(name, self._read_meta(name))
+            except (ModelStoreError, OSError):
                 continue  # foreign .json living in the store directory
+            if all(path.exists() for path in self._factor_paths(name, record)):
+                records.append(record)
         return records
 
     def delete(self, name: str) -> None:
-        """Unpublish a model (metadata first, so readers never see a half-model)."""
+        """Unpublish a model (metadata first, so readers never see a half-model).
+
+        Removes the sidecar and every factor archive — the single NPZ or, for
+        sharded models, all row-range shard files.  Damaged models (corrupt
+        sidecar, missing shard files) are still removable: deletion is the
+        cleanup path, so it never demands the model be loadable first.
+        """
         self._check_name(name)
-        if not self.exists(name):
+        if not self._meta_path(name).is_file():
             raise ModelStoreError(f"no model named {name!r} in {self.directory}")
+        try:
+            record = self.record(name)
+            paths = self._factor_paths(name, record)
+        except (ModelStoreError, OSError):
+            # The sidecar exists but cannot be parsed, so the factor layout
+            # is unknown.  Deletion is the cleanup path for exactly such
+            # damage: best-effort remove every archive this name can own
+            # (the single file plus any shard files not owned by another
+            # published model).
+            paths = [self._npz_path(name)] + [
+                path for _, path in self._owned_shard_paths(name)
+            ]
         self._meta_path(name).unlink()
-        self._npz_path(name).unlink()
+        for path in paths:
+            with contextlib.suppress(FileNotFoundError):
+                path.unlink()
 
     def __len__(self) -> int:
         return len(self.list())

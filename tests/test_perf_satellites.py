@@ -77,14 +77,15 @@ class TestReferenceNormCaching:
         assert engine._references_sq.shape == (15,)
 
         seen = {}
-        original = query_module.pairwise_interval_distances
+        original = query_module.pairwise_interval_squared_distances
 
         def spy(queries, references, matmul=None, references_sq=None):
             seen["references_sq"] = references_sq
             return original(queries, references, matmul=matmul,
                             references_sq=references_sq)
 
-        monkeypatch.setattr(query_module, "pairwise_interval_distances", spy)
+        monkeypatch.setattr(query_module,
+                            "pairwise_interval_squared_distances", spy)
         engine.neighbor_distances(matrix.row(0))
         assert seen["references_sq"] is engine._references_sq
 

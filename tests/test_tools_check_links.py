@@ -1,0 +1,74 @@
+"""Tests for the stdlib docs link checker behind the CI docs-check job."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_links.py"
+_spec = importlib.util.spec_from_file_location("check_links", _TOOL)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+@pytest.fixture
+def doc_tree(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "GUIDE.md").write_text(
+        "See [the readme](../README.md) and [ops](OPERATIONS.md#serving).\n"
+        "External [link](https://example.com) and [anchor](#local) are fine.\n"
+        "```bash\n[not a link](nowhere.md)\n```\n"
+    )
+    (tmp_path / "docs" / "OPERATIONS.md").write_text("# ops\n")
+    (tmp_path / "README.md").write_text(
+        "[guide](docs/GUIDE.md) and [src](src/pkg/)\n")
+    (tmp_path / "src" / "pkg").mkdir(parents=True)
+    return tmp_path
+
+
+def test_clean_tree_passes(doc_tree, capsys):
+    assert check_links.main(["check_links.py", str(doc_tree)]) == 0
+    assert "all relative links resolve" in capsys.readouterr().out
+
+
+def test_broken_link_fails_with_diagnostic(doc_tree, capsys):
+    (doc_tree / "docs" / "GUIDE.md").write_text("[gone](MISSING.md)\n")
+    assert check_links.main(["check_links.py", str(doc_tree)]) == 1
+    err = capsys.readouterr().err
+    assert "GUIDE.md" in err and "MISSING.md" in err
+
+
+def test_fragments_and_code_blocks_are_handled(doc_tree):
+    # A fragment on an existing file resolves; fenced pseudo-links are not
+    # checked at all.
+    broken = check_links.check_file(doc_tree / "docs" / "GUIDE.md", doc_tree)
+    assert broken == []
+
+
+def test_fragment_on_missing_file_is_broken(doc_tree):
+    (doc_tree / "docs" / "GUIDE.md").write_text("[x](NOPE.md#frag)\n")
+    broken = check_links.check_file(doc_tree / "docs" / "GUIDE.md", doc_tree)
+    assert len(broken) == 1 and broken[0][0] == "NOPE.md#frag"
+
+
+def test_titled_and_angle_bracket_links_are_checked(doc_tree):
+    guide = doc_tree / "docs" / "GUIDE.md"
+    guide.write_text('[ok](OPERATIONS.md "Ops guide")\n'
+                     "[also ok](<OPERATIONS.md>)\n")
+    assert check_links.check_file(guide, doc_tree) == []
+    guide.write_text('[broken](MISSING.md "title")\n'
+                     "[broken too](<GONE.md> 'title')\n")
+    assert [t for t, _ in check_links.check_file(guide, doc_tree)] \
+        == ["MISSING.md", "GONE.md"]
+
+
+def test_repo_docs_are_link_clean():
+    """The repository's own README + docs tree must stay link-clean."""
+    root = Path(__file__).resolve().parent.parent
+    failures = [
+        (str(path.relative_to(root)), target)
+        for path in check_links.collect_files(root)
+        for target, _ in check_links.check_file(path, root)
+    ]
+    assert failures == []

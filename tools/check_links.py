@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Fail on broken *relative* links in the repository's markdown docs.
+
+Usage::
+
+    python tools/check_links.py [ROOT]
+
+Scans ``ROOT/README.md`` plus every ``*.md`` under ``ROOT/docs/`` (ROOT
+defaults to the repository root, the parent of this file's directory) for
+inline markdown links and images — ``[text](target)`` / ``![alt](target)`` —
+and verifies that each relative target resolves to an existing file or
+directory.  External links (``http://``, ``https://``, ``mailto:``) and
+pure in-page anchors (``#section``) are skipped; a ``#fragment`` suffix on a
+relative link is stripped before checking.  Exit status 0 when every link
+resolves, 1 otherwise (one diagnostic line per broken link) — the CI
+``docs-check`` job gates on it.
+
+Standard library only, by design: the checker must run before any project
+dependency is installed.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: ``[text](target)`` or ``[text](target "title")``,
+#: with a non-empty target that contains neither whitespace nor a closing
+#: parenthesis (optionally wrapped in ``<...>``).  Fenced code blocks are
+#: excluded before matching.
+_LINK_PATTERN = re.compile(
+    r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\"|\s+'[^']*')?\s*\)")
+_FENCE_PATTERN = re.compile(r"^(```|~~~)", re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Drop fenced code blocks (link syntax inside them is just code)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE_PATTERN.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def iter_links(markdown: str):
+    """Yield every inline link target outside fenced code blocks."""
+    for match in _LINK_PATTERN.finditer(_strip_fenced_code(markdown)):
+        yield match.group(1)
+
+
+def check_file(path: Path, root: Path):
+    """Return ``(target, resolved)`` pairs for broken relative links in
+    ``path``; relative targets resolve against the file's directory."""
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        resolved = (root if plain.startswith("/")
+                    else path.parent) / plain.lstrip("/")
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def collect_files(root: Path):
+    """The markdown files the repository promises to keep link-clean."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return files
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    files = collect_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for target, resolved in check_file(path, root):
+            print(f"{path.relative_to(root)}: broken link {target!r} "
+                  f"(resolved to {resolved})", file=sys.stderr)
+            failures += 1
+    checked = ", ".join(str(p.relative_to(root)) for p in files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
