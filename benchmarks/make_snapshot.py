@@ -34,6 +34,7 @@ SECTIONS = {
     "serve": ("test_bench_serve", (
         "unbatched_qps", "batched_qps", "speedup",
         "qps", "blas_calls", "mean_batch",
+        "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
     )),
     "sparse": ("test_bench_sparse", (
         "shape", "density", "nnz",
@@ -45,17 +46,27 @@ SECTIONS = {
         "shards", "model_shape", "queries",
         "sharded_batched_qps", "sharded_unbatched_qps", "shard_speedup",
         "topk_sharded_ms", "topk_unsharded_ms",
+        "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
         "parity_queries", "neighbor_sharded_ms", "neighbor_unsharded_ms",
         "scatter_block_mb", "monolithic_block_mb",
+    )),
+    "worker": ("test_bench_worker", (
+        "shards", "model_shape", "queries", "usable_cores", "gate_active",
+        "worker_batched_qps", "threads_batched_qps", "worker_over_threads",
+        "latency_queries", "worker_row_qps",
+        "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
     )),
 }
 
 #: Section keys whose absence fails the build (the headline numbers).
 REQUIRED = {
     "kernel": ("endpoint4_ms", "rump_ms", "rump_over_endpoint4"),
-    "serve": ("batched_qps", "speedup"),
+    "serve": ("batched_qps", "speedup", "latency_p95_ms"),
     "sparse": ("sparse_gram_ms", "sparse_speedup", "sparse_storage_ratio"),
-    "shard": ("shards", "sharded_batched_qps", "shard_speedup"),
+    "shard": ("shards", "sharded_batched_qps", "shard_speedup",
+              "latency_p95_ms"),
+    "worker": ("worker_batched_qps", "worker_over_threads", "usable_cores",
+               "latency_p95_ms"),
 }
 
 

@@ -54,13 +54,18 @@ def test_bench_serve_batched_topk_vs_row_at_a_time(benchmark, engine, query_rows
     # enforced in CI, so one scheduler blip in a single timing pass must not
     # fail the build.  Measured headroom is ~5x against the 2x floor.
     unbatched_seconds = float("inf")
-    unbatched = None
+    unbatched, latencies = None, None
     for _ in range(3):
+        attempt, attempt_latencies = [], []
         start = time.perf_counter()
-        attempt = [engine.top_k_items(row, TOP_K) for row in single_rows]
+        for row in single_rows:
+            begin = time.perf_counter()
+            attempt.append(engine.top_k_items(row, TOP_K))
+            attempt_latencies.append(time.perf_counter() - begin)
         elapsed = time.perf_counter() - start
         if elapsed < unbatched_seconds:
             unbatched_seconds, unbatched = elapsed, attempt
+            latencies = attempt_latencies
 
     def batched_run():
         return engine.top_k_items(query_rows, TOP_K)
@@ -72,6 +77,11 @@ def test_bench_serve_batched_topk_vs_row_at_a_time(benchmark, engine, query_rows
     benchmark.extra_info["unbatched_qps"] = round(N_QUERIES / unbatched_seconds, 1)
     benchmark.extra_info["batched_qps"] = round(N_QUERIES / batched_seconds, 1)
     benchmark.extra_info["speedup"] = round(unbatched_seconds / batched_seconds, 2)
+    # Tail behaviour of the per-request path (what a client actually sees).
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+    benchmark.extra_info["latency_p50_ms"] = round(p50 * 1000.0, 3)
+    benchmark.extra_info["latency_p95_ms"] = round(p95 * 1000.0, 3)
+    benchmark.extra_info["latency_p99_ms"] = round(p99 * 1000.0, 3)
 
     # The batching knob must never change the science: identical answers.
     for i, result in enumerate(unbatched):

@@ -310,12 +310,14 @@ def _cmd_models(args: argparse.Namespace) -> int:
             record.rank,
             "x".join(str(n) for n in record.shape),
             "-" if record.shards is None else record.shards,
+            "-" if record.generation is None else record.generation,
             (record.fingerprint or "")[:12],
         ]
         for record in records
     ]
     print(format_table(
-        ["name", "method", "target", "rank", "shape", "shards", "fingerprint"],
+        ["name", "method", "target", "rank", "shape", "shards", "gen",
+         "fingerprint"],
         rows, title=f"Models in {args.store}",
     ))
     return 0
@@ -343,12 +345,17 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     try:
         if args.shards == 1:
             # Resharding down to one shard means "make it single-file again".
+            if args.generation is not None:
+                raise SystemExit(
+                    "--generation applies to sharded publishes only "
+                    "(--shards >= 2)")
             new_record = store.save(target_name, decomposition,
                                     fingerprint=record.fingerprint)
         else:
             new_record = store.save_sharded(target_name, decomposition,
                                             args.shards,
-                                            fingerprint=record.fingerprint)
+                                            fingerprint=record.fingerprint,
+                                            generation=args.generation)
     except (ModelStoreError, ValueError) as error:
         raise SystemExit(str(error))
     if new_record.shards is None:
@@ -359,13 +366,37 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         ranges = plan_row_ranges(new_record.shape[0], new_record.shards)
         print(f"model {target_name!r} published to {args.store} in "
               f"{new_record.shards} row-range shards of U "
-              f"({new_record.shape[0]} rows):")
+              f"({new_record.shape[0]} rows), generation "
+              f"{new_record.generation}:")
         for index, (start, stop) in enumerate(ranges):
             print(f"  shard {index:02d}: rows [{start}, {stop})")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    if args.workers:
+        # Worker mode: asyncio front end + one process per shard of each
+        # sharded model.  (The worker count is per model and fixed by its
+        # shard count; the flag's value simply switches the mode on, so
+        # `--workers 4` over 4-shard models reads naturally.)
+        from repro.serve.async_http import create_async_server
+
+        async_server = create_async_server(
+            args.store, host=args.host, port=args.port,
+            max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
+            verbose=args.verbose, kernel=args.interval_kernel, workers=True,
+        )
+        models = async_server.app.store.list()
+        print(f"serving {len(models)} model(s) from {args.store} "
+              f"on http://{args.host}:{args.port} "
+              "(async front end, worker processes per shard)")
+        for record in models:
+            print(f"  {record.name}: {record.method} target {record.target} "
+                  f"rank {record.rank}")
+        async_server.run()
+        return 0
     from repro.serve.http import create_server
 
     server = create_server(
@@ -386,6 +417,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+        server.app.close()
     return 0
 
 
@@ -521,6 +553,9 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--as", dest="rename_to", metavar="NEW_NAME",
                        help="publish the sharded model under this name "
                             "instead of replacing the original")
+    shard.add_argument("--generation", type=int, default=None, metavar="G",
+                       help="publish under this generation number (must "
+                            "exceed the current one; default: current + 1)")
     shard.set_defaults(handler=_cmd_shard)
 
     serve = subparsers.add_parser(
@@ -539,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default: {DEFAULT_KERNEL})")
     serve.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="N > 0 serves sharded models from one worker "
+                            "process per shard behind an asyncio front end "
+                            "(0, the default, keeps the in-process threaded "
+                            "server)")
     serve.set_defaults(handler=_cmd_serve)
 
     query = subparsers.add_parser(

@@ -17,6 +17,7 @@ from __future__ import annotations
 import contextlib
 import csv
 import hashlib
+import io
 import os
 import threading
 from pathlib import Path
@@ -152,6 +153,36 @@ def atomic_write(path: PathLike) -> Iterator[Path]:
     finally:
         with contextlib.suppress(FileNotFoundError):
             tmp.unlink()
+
+
+# --------------------------------------------------------------------------- #
+# npy byte strings (the shard-worker wire format)
+# --------------------------------------------------------------------------- #
+def array_to_npy_bytes(array: np.ndarray) -> bytes:
+    """Serialize one ndarray to npy-format bytes, refusing object dtypes.
+
+    The serving layer's worker protocol (:mod:`repro.serve.protocol`) frames
+    these byte strings over sockets, so the encoding must never embed pickled
+    Python objects — a malicious or corrupted peer could otherwise execute
+    code on decode.  ``allow_pickle=False`` enforces that at both ends.
+    """
+    array = np.asarray(array)
+    if not array.flags.c_contiguous:
+        # ascontiguousarray only where needed: it would promote 0-d arrays
+        # to 1-d, silently changing the shape the peer decodes.
+        array = np.ascontiguousarray(array)
+    buffer = io.BytesIO()
+    np.lib.format.write_array(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def array_from_npy_bytes(data: bytes) -> np.ndarray:
+    """Inverse of :func:`array_to_npy_bytes` (rejects pickled payloads).
+
+    Raises ``ValueError`` on malformed npy bytes or object-dtype archives —
+    never unpickles.
+    """
+    return np.lib.format.read_array(io.BytesIO(data), allow_pickle=False)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,6 +1,6 @@
 """Online serving of fitted interval decompositions.
 
-The subsystem has five layers, each usable on its own (see
+The subsystem has seven layers, each usable on its own (see
 ``docs/ARCHITECTURE.md`` for the data-flow walkthrough):
 
 * :class:`~repro.serve.store.ModelStore` — publishes fitted decompositions
@@ -15,17 +15,35 @@ The subsystem has five layers, each usable on its own (see
 * :mod:`repro.serve.shard` — row-range sharding:
   :class:`~repro.serve.shard.ShardPlanner` splits a model along the user
   dimension, :class:`~repro.serve.shard.ShardedModelStore` publishes
-  per-shard archives, and :class:`~repro.serve.shard.ShardedQueryEngine`
-  scatter-gathers queries across per-shard engines with a byte-stable merge;
-* :mod:`repro.serve.http` — a stdlib-only HTTP JSON service
-  (``/models``, ``/recommend``, ``/neighbors``, ``/healthz``) exposed by
-  the CLI as ``repro serve`` / ``repro query``; sharded and single-file
-  models are served transparently.
+  generation-versioned per-shard archives (hitless republish), and
+  :class:`~repro.serve.shard.ShardedQueryEngine` scatter-gathers queries
+  across per-shard engines with a byte-stable merge;
+* :mod:`repro.serve.protocol` — the length-prefixed npy frame format
+  between the front end and shard workers (no pickle on the wire);
+* :mod:`repro.serve.worker` — per-shard **worker processes**:
+  :class:`~repro.serve.worker.ShardWorkerSupervisor` spawns, health-checks
+  and restarts one worker per shard, and
+  :class:`~repro.serve.worker.WorkerShardedQueryEngine` routes queries
+  across them with the same byte-identical answers as the in-process
+  router;
+* :mod:`repro.serve.http` / :mod:`repro.serve.async_http` — a stdlib-only
+  HTTP JSON service (``/models``, ``/recommend``, ``/neighbors``,
+  ``/healthz``) exposed by the CLI as ``repro serve`` / ``repro query``;
+  the asyncio front end (``repro serve --workers N``) parses requests on
+  the event loop so slow clients cannot exhaust worker threads.
 """
 
+from repro.serve.async_http import AsyncServingServer, create_async_server
 from repro.serve.batching import MicroBatcher
 from repro.serve.foldin import FoldInProjector
 from repro.serve.http import ServingApp, create_server
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 from repro.serve.query import QueryEngine, TopKResult, top_k, top_k_from_candidates
 from repro.serve.shard import (
     ShardedModelStore,
@@ -34,25 +52,42 @@ from repro.serve.shard import (
     ShardPlanner,
     merge_shards,
     plan_row_ranges,
+    usable_cpu_count,
 )
 from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
+from repro.serve.worker import (
+    ShardWorkerSupervisor,
+    WorkerError,
+    WorkerShardedQueryEngine,
+)
 
 __all__ = [
+    "AsyncServingServer",
     "FoldInProjector",
     "MicroBatcher",
     "ModelRecord",
     "ModelStore",
     "ModelStoreError",
+    "ProtocolError",
     "QueryEngine",
     "ServingApp",
     "ShardManifest",
     "ShardPlanner",
+    "ShardWorkerSupervisor",
     "ShardedModelStore",
     "ShardedQueryEngine",
     "TopKResult",
+    "WorkerError",
+    "WorkerShardedQueryEngine",
+    "create_async_server",
     "create_server",
+    "decode_frame",
+    "encode_frame",
     "merge_shards",
     "plan_row_ranges",
+    "read_frame",
     "top_k",
     "top_k_from_candidates",
+    "usable_cpu_count",
+    "write_frame",
 ]

@@ -1,0 +1,395 @@
+"""Asyncio HTTP front end: slow clients cost a coroutine, not a thread.
+
+The classic :class:`~repro.serve.http.ServingHTTPServer` dedicates one
+thread per connection, so a client trickling its request body byte by byte
+pins a thread for the duration — a handful of slow (or malicious) clients
+can starve everyone else.  :class:`AsyncServingServer` keeps the exact same
+routes and the exact same :class:`~repro.serve.http.ServingApp` semantics,
+but accepts connections on an asyncio event loop:
+
+* request *parsing* (status line, headers, body) happens on the loop with
+  per-phase timeouts — a half-open or trickling connection occupies only a
+  coroutine and some buffer space;
+* request *execution* runs the blocking :class:`ServingApp` handlers on a
+  bounded thread pool (``run_in_executor``).  Only complete, validated
+  requests ever reach the pool, so slow clients cannot occupy it.  The
+  :class:`~repro.serve.batching.MicroBatcher`'s leader/follower protocol
+  works unchanged across the pool's threads: concurrent single-row queries
+  still stack into single BLAS calls, and batching still never changes a
+  byte of any response.
+
+Responses are byte-compatible with the threaded server (same JSON payloads,
+same status codes), so clients — and the parity test suite — cannot tell
+the two front ends apart.  With the app's ``workers`` backend enabled, the
+event loop feeds worker *processes* through the executor threads, giving
+the full multi-process serving path of ``repro serve --workers N``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple, Union
+
+from repro.interval.scalar import IntervalError
+from repro.serve.http import MAX_BODY_BYTES, RequestError, ServingApp
+from repro.serve.store import ModelStore
+
+#: Upper bound on the request line plus headers (one header line is also
+#: bounded by asyncio's default readline limit of 64 KiB).
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Seconds a client may take to deliver the request head / the body.  Long
+#: enough for slow mobile links, short enough that a trickling client's
+#: buffers are reclaimed; healthy clients are unaffected.
+HEAD_TIMEOUT = 30.0
+BODY_TIMEOUT = 60.0
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            408: "Request Timeout", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _BadRequest(Exception):
+    """Protocol-level failure; the connection closes after the reply."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class AsyncServingServer:
+    """Asyncio front end over a :class:`ServingApp` (same routes, same bytes).
+
+    Parameters
+    ----------
+    app:
+        The shared application state, or a :class:`ModelStore` / store path
+        to build one from.
+    host, port:
+        Bind address; ``port=0`` binds an ephemeral port (``self.address``
+        has the real one once started).
+    executor_threads:
+        Size of the pool running the blocking app handlers.  This bounds
+        *executing* requests only — parsing happens on the loop — and sets
+        the widest micro-batch a single delay window can collect from
+        concurrent connections.
+    verbose:
+        Log each request to stderr.
+    """
+
+    def __init__(self, app: Union[ServingApp, ModelStore, str],
+                 host: str = "127.0.0.1", port: int = 8080,
+                 executor_threads: int = 16, verbose: bool = False):
+        self.app = app if isinstance(app, ServingApp) else ServingApp(app)
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads,
+            thread_name_prefix="repro-async-exec")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stopping: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away or spoke garbage; nothing to answer
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_one_request(self, reader: asyncio.StreamReader,
+                                  writer: asyncio.StreamWriter) -> bool:
+        """Parse, dispatch and answer one request; returns keep-alive."""
+        try:
+            method, path, headers, close_requested = \
+                await self._read_head(reader)
+        except _BadRequest as error:
+            if error.status == 408 and not str(error).startswith("timed out"):
+                return False  # clean EOF between requests: just close
+            await self._respond(writer, {"error": str(error)}, error.status,
+                                close=True)
+            return False
+        try:
+            body = await self._read_body(reader, headers)
+        except _BadRequest as error:
+            # The body is unread or unreadable either way: the connection
+            # cannot be reused, its next bytes are not a request line.
+            await self._respond(writer, {"error": str(error)}, error.status,
+                                close=True)
+            return False
+        status, payload = await self._dispatch(method, path, body)
+        if self.verbose:
+            print(f"async-serve: {method} {path} -> {status}", flush=True)
+        await self._respond(writer, payload, status, close=close_requested)
+        return not close_requested
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        """Read and parse the request line and headers, bounded in time and
+        bytes."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=HEAD_TIMEOUT)
+        except asyncio.TimeoutError:
+            raise _BadRequest("timed out reading the request head", 408)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                raise _BadRequest("connection closed between requests", 408)
+            raise _BadRequest("connection closed mid-request", 400)
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("request head too large", 413)
+        if len(head) > MAX_HEADER_BYTES:
+            raise _BadRequest("request head too large", 413)
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(f"malformed request line {lines[0]!r}")
+        method, path, version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, separator, value = line.partition(":")
+            if not separator:
+                raise _BadRequest(f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        connection = headers.get("connection", "").lower()
+        close_requested = (connection == "close"
+                           or (version == "HTTP/1.0"
+                               and connection != "keep-alive"))
+        return method, path, headers, close_requested
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(f"invalid Content-Length {raw_length!r}")
+        if "transfer-encoding" in headers:
+            raise _BadRequest("chunked request bodies are not supported")
+        if length < 0:
+            raise _BadRequest(f"invalid Content-Length {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest("request body too large", 413)
+        if length == 0:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), timeout=BODY_TIMEOUT)
+        except asyncio.TimeoutError:
+            raise _BadRequest("timed out reading the request body", 408)
+        except asyncio.IncompleteReadError:
+            raise _BadRequest("connection closed mid-body", 400)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (blocking app work runs on the executor)
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict[str, object]]:
+        if method == "GET":
+            if path == "/healthz":
+                return await self._call(self.app.healthz)
+            if path == "/models":
+                return await self._call(self.app.models)
+            return 404, {"error": f"unknown path {path!r}"}
+        if method != "POST":
+            return 404, {"error": f"unsupported method {method!r}"}
+        routes = {"/recommend": self.app.recommend,
+                  "/neighbors": self.app.neighbors}
+        handler = routes.get(path)
+        if handler is None:
+            return 404, {"error": f"unknown path {path!r}"}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"invalid JSON body: {error}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        return await self._call(handler, payload)
+
+    async def _call(self, handler, *args) -> Tuple[int, Dict[str, object]]:
+        """Run one blocking app handler on the executor, mapping exceptions
+        to the same statuses the threaded server produces."""
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, lambda: handler(*args))
+            return 200, result
+        except RequestError as error:
+            return error.status, {"error": str(error)}
+        except (ValueError, IntervalError) as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # never drop a connection without a reply
+            return 500, {"error": f"internal error: {error}"}
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       payload: Dict[str, object], status: int,
+                       close: bool = False) -> None:
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except ValueError:
+            status = 500
+            body = json.dumps(
+                {"error": "response contains non-finite values"}).encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def _serve(self) -> None:
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=128)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            # start_server is already accepting; park until stop() fires.
+            await self._stopping.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            # Cancel parked connections (e.g. slow clients mid-head) and
+            # wait them out, so no coroutine outlives the loop and finds
+            # it closed at garbage-collection time.
+            pending = [conn for conn in list(self._connections)
+                       if not conn.done()]
+            for connection in pending:
+                connection.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            # One extra beat lets the transports' close callbacks run.
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+
+    def run(self) -> None:
+        """Serve until cancelled (the blocking CLI entry point).  Reaps the
+        app's engines — including worker processes — on the way out."""
+        self._loop = asyncio.new_event_loop()
+        task = self._loop.create_task(self._serve())
+        try:
+            self._loop.run_until_complete(task)
+        except KeyboardInterrupt:
+            # Run the loop just long enough for _serve's finally block to
+            # close the listener and cancel parked connections — otherwise
+            # the suspended coroutine is GC'd mid-finally ("coroutine
+            # ignored GeneratorExit").  A second Ctrl-C still gets through.
+            task.cancel()
+            try:
+                self._loop.run_until_complete(task)
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._shutdown_loop()
+
+    def start_background(self) -> Tuple[str, int]:
+        """Run the server on a daemon thread; returns the bound address.
+
+        The test-suite (and embedding) entry point; pair with :meth:`stop`.
+        """
+        self._loop = asyncio.new_event_loop()
+
+        def runner() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._serve())
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+            except RuntimeError:  # loop stopped by stop(); expected
+                pass
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-async-serve")
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("async serving front end failed to start")
+        assert self.address is not None
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a background server and release everything (idempotent):
+        the listener, the executor, and the app's engines — after this, no
+        worker process of this server is running."""
+        loop, self._loop = self._loop, None
+        if loop is not None and loop.is_running() and self._stopping is not None:
+            # _serve() owns the orderly teardown: it closes the listener,
+            # cancels parked connections and waits them out, then returns —
+            # which ends run_until_complete on the server thread.
+            loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if loop is not None and not loop.is_running():
+            loop.close()
+        self._release()
+
+    def _shutdown_loop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        if self._loop is not None and not self._loop.is_running():
+            self._loop.close()
+        self._loop = None
+        self._release()
+
+    def _release(self) -> None:
+        self._executor.shutdown(wait=True)
+        self.app.close()
+
+
+def create_async_server(
+    store: Union[ModelStore, str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_batch: int = 64,
+    batch_delay: float = 0.002,
+    verbose: bool = False,
+    kernel=None,
+    workers: bool = False,
+    executor_threads: int = 16,
+) -> AsyncServingServer:
+    """Build the asyncio front end over a model store (CLI-facing twin of
+    :func:`repro.serve.http.create_server`).
+
+    With ``workers=True``, sharded models are served by one worker process
+    per shard; single-file models still serve in-process.  Every response
+    stays byte-identical to the threaded server's.
+    """
+    app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,
+                     kernel=kernel, workers=workers)
+    return AsyncServingServer(app, host=host, port=port,
+                              executor_threads=executor_threads,
+                              verbose=verbose)

@@ -72,6 +72,21 @@ class MicroBatcher:
         self.batches_run = 0
         self.requests_served = 0
 
+    def stats(self) -> dict:
+        """Consistent snapshot of the batching counters (for ``/healthz``).
+
+        ``mean_batch_size`` is the figure to watch: near 1.0 under load
+        means requests are not overlapping inside ``max_delay`` windows and
+        the stacking is buying nothing.
+        """
+        with self._condition:
+            batches, requests = self.batches_run, self.requests_served
+        return {
+            "batches_run": batches,
+            "requests_served": requests,
+            "mean_batch_size": (requests / batches) if batches else None,
+        }
+
     def submit(self, request: object) -> object:
         """Submit one request; blocks until its result is available.
 

@@ -48,11 +48,13 @@ from repro.serve.query import (
 )
 from repro.serve.shard import ShardedModelStore, ShardedQueryEngine
 from repro.serve.store import ModelStore, ModelStoreError
+from repro.serve.worker import WorkerError, WorkerShardedQueryEngine
 
-#: Either engine type: the single-model engine or the scatter-gather router.
-#: They share the query API and return byte-identical results, so the HTTP
-#: layer never needs to know whether a model is sharded.
-EngineLike = Union[QueryEngine, ShardedQueryEngine]
+#: Any engine type: the single-model engine, the in-process scatter-gather
+#: router, or the worker-process-backed router.  They share the query API
+#: and return byte-identical results, so the HTTP layer never needs to know
+#: whether (or how) a model is sharded.
+EngineLike = Union[QueryEngine, ShardedQueryEngine, WorkerShardedQueryEngine]
 
 #: Upper bound on accepted request bodies (a 1k-item interval row is ~50 kB).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -113,17 +115,22 @@ class ServingApp:
 
     ``kernel`` selects the interval-product kernel every engine is built
     with (resolved once at startup so a typo fails at boot, not per request);
-    ``None`` keeps the paper-faithful default.
+    ``None`` keeps the paper-faithful default.  With ``workers=True``,
+    sharded models serve through one *worker process* per shard
+    (:class:`~repro.serve.worker.WorkerShardedQueryEngine`) instead of the
+    in-process thread router — answers stay byte-identical either way.
     """
 
     def __init__(self, store: Union[ModelStore, str], max_batch: int = 64,
-                 batch_delay: float = 0.002, kernel: KernelLike = None):
+                 batch_delay: float = 0.002, kernel: KernelLike = None,
+                 workers: bool = False):
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
         self.kernel = get_kernel(kernel)
         self.max_batch = max_batch
         self.batch_delay = batch_delay
+        self.workers = bool(workers)
         self._lock = threading.Lock()
-        self._engines: Dict[str, Tuple[object, EngineLike]] = {}
+        self._engines: Dict[str, Tuple[object, EngineLike, object]] = {}
         self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
         #: Per-model single-flight locks: loading a model is O(model bytes)
         #: (NPZ decompress + per-shard fingerprint hashing), so concurrent
@@ -140,9 +147,14 @@ class ServingApp:
 
     @staticmethod
     def _version_of(record) -> Tuple[object, ...]:
-        """The engine-cache key identifying one publish of a model."""
+        """The engine-cache key identifying one publish of a model.
+
+        ``generation`` is part of the key: a reshard bumps it even when the
+        factor content is unchanged, and the cached engine (whose workers
+        are pinned to one generation's files) must follow the manifest.
+        """
         return (record.created_at, record.fingerprint, record.method,
-                record.rank, record.shards)
+                record.rank, record.shards, record.generation)
 
     def _current_version(self, name: str) -> Tuple[object, ...]:
         """The cache key a model's current publish would be stored under."""
@@ -186,28 +198,33 @@ class ServingApp:
             if cached is not None and cached[0] == version:
                 return cached[1]
             try:
-                if record.shards is not None:
+                if record.shards is not None and self.workers:
+                    engine: EngineLike = WorkerShardedQueryEngine(
+                        ShardedModelStore(self.store.directory), name,
+                        kernel=self.kernel)
+                elif record.shards is not None:
                     shards, manifest = ShardedModelStore(
                         self.store.directory).load_shards(name)
-                    engine: EngineLike = ShardedQueryEngine(
+                    engine = ShardedQueryEngine(
                         shards, row_ranges=manifest.row_ranges,
                         kernel=self.kernel)
                 else:
                     decomposition, _ = self.store.load(name)
                     engine = QueryEngine(decomposition, kernel=self.kernel)
             except (ModelStoreError, OSError, BadZipFile, KeyError,
-                    ValueError) as error:
+                    ValueError, WorkerError) as error:
                 # Covers readers racing a delete (metadata read above,
                 # factors unlinked before the NPZ load), truncated archives,
                 # and not-a-decomposition files (KeyError: a factor array
                 # missing from an externally written NPZ); ValueError
-                # includes IntervalError.
+                # includes IntervalError; WorkerError covers shard workers
+                # that could not come up on the model's files.
                 self._evict(name)
                 raise RequestError(f"model {name!r} is not loadable: {error}",
                                    status=404) from error
             with self._lock:
                 displaced = self._engines.get(name)
-                self._engines[name] = (version, engine)
+                self._engines[name] = (version, engine, record)
         if displaced is not None:
             self._close_engine(displaced[1])
         return engine
@@ -344,8 +361,60 @@ class ServingApp:
         return {"models": [record.to_dict() for record in self.store.list()]}
 
     def healthz(self) -> Dict[str, object]:
-        """Liveness payload."""
-        return {"status": "ok", "models": len(self.store)}
+        """Liveness payload, including what is actually being served.
+
+        ``serving`` reports every model with a loaded engine: the served
+        *generation* (so an operator can confirm a reshard took effect),
+        the backend kind, per-shard worker liveness for process-backed
+        models, and micro-batching counters.  The overall ``status``
+        degrades to ``"degraded"`` when any served model has a dead worker.
+        """
+        with self._lock:
+            cached = dict(self._engines)
+            batcher_stats = {
+                f"{name}:{operation}": batcher.stats()
+                for (name, operation), batcher in self._batchers.items()
+            }
+        serving: Dict[str, object] = {}
+        degraded = False
+        for name, (_, engine, record) in sorted(cached.items()):
+            entry: Dict[str, object] = {
+                "generation": getattr(record, "generation", None),
+                "shards": getattr(record, "shards", None),
+                "backend": ("workers"
+                            if isinstance(engine, WorkerShardedQueryEngine)
+                            else "sharded-threads"
+                            if isinstance(engine, ShardedQueryEngine)
+                            else "in-process"),
+            }
+            liveness = getattr(engine, "liveness", None)
+            if liveness is not None:
+                workers = liveness()
+                entry["workers"] = workers
+                if not all(worker["alive"] for worker in workers):
+                    degraded = True
+            serving[name] = entry
+        payload: Dict[str, object] = {
+            "status": "degraded" if degraded else "ok",
+            "models": len(self.store),
+            "serving": serving,
+        }
+        if batcher_stats:
+            payload["batching"] = batcher_stats
+        return payload
+
+    def close(self) -> None:
+        """Release every cached engine (reaping worker processes) and
+        batcher.  The app stays usable — the next request reloads — but the
+        server shutdown path must call this so no worker outlives the
+        front end."""
+        with self._lock:
+            engines, self._engines = dict(self._engines), {}
+            self._batchers.clear()
+        for _, engine, _ in engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close(wait=True)
 
 
 class ServingHTTPServer(ThreadingHTTPServer):

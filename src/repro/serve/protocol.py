@@ -1,0 +1,243 @@
+"""Length-prefixed binary frames between the serving front end and workers.
+
+One frame carries a small JSON header (the operation and its scalar
+parameters) plus zero or more npy-encoded numpy arrays (query endpoints,
+folded-in features, result indices/scores).  The format is deliberately
+tiny — no pickle anywhere on the wire, so a corrupted or malicious peer can
+never execute code on decode — and strictly length-prefixed, so a reader
+always knows exactly how many bytes to consume and can fail loudly on
+truncation instead of hanging:
+
+``MAGIC(4) | body_length u64 | body``
+
+``body := header_length u32 | header JSON (UTF-8) | n_arrays u32 |``
+``        (array_length u64 | npy bytes) * n_arrays``
+
+All integers are big-endian.  Every length is validated against the
+enclosing length and against ``max_bytes`` *before* any allocation, so a
+garbage length prefix raises :class:`ProtocolError` rather than attempting a
+multi-gigabyte read.  The body must be consumed exactly: trailing bytes mean
+a framing bug on the peer and are an error, never silently skipped.
+
+The round-trip property (``decode_frame(encode_frame(h, a)) == (h, a)``,
+byte-for-byte on array payloads) and the loud-failure property (truncated /
+oversized / garbage input raises ``ProtocolError``, never hangs or returns
+partial data) are fuzzed in ``tests/test_serve_protocol.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import io as repro_io
+
+#: Frame magic: "repro serve protocol, version 1".
+MAGIC = b"RSP1"
+
+#: Default upper bound on one frame's body.  A 4096-row chunk of 2k-item
+#: interval queries is ~128 MB (two float64 endpoint arrays); the default
+#: leaves headroom without letting a corrupt length prefix allocate the
+#: machine away.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+#: Upper bound on arrays per frame (requests carry at most a handful).
+MAX_ARRAYS = 64
+
+#: Upper bound on the JSON header (headers are a few short keys).
+MAX_HEADER_BYTES = 64 * 1024
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, truncated, oversized or otherwise unusable frame.
+
+    Raised on *any* deviation from the framing rules — the router treats it
+    as a dead peer (fail loudly, restart the worker), never as data.
+    """
+
+
+Frame = Tuple[Dict[str, object], List[np.ndarray]]
+
+
+def encode_frame(header: Dict[str, object],
+                 arrays: Sequence[np.ndarray] = (),
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one ``(header, arrays)`` message to frame bytes.
+
+    The header must be a JSON-serializable dict; arrays are npy-encoded with
+    pickling disabled (object dtypes raise).  Encoding enforces the same
+    bounds decoding does, so a frame this function produces is always
+    decodable by a peer with the same limits.
+    """
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a dict, got {type(header).__name__}")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header of {len(header_bytes)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte bound"
+        )
+    if len(arrays) > MAX_ARRAYS:
+        raise ProtocolError(
+            f"{len(arrays)} arrays in one frame exceeds the {MAX_ARRAYS} bound"
+        )
+    parts = [_U32.pack(len(header_bytes)), header_bytes, _U32.pack(len(arrays))]
+    for array in arrays:
+        try:
+            payload = repro_io.array_to_npy_bytes(np.asarray(array))
+        except ValueError as error:  # object dtype: would need pickle
+            raise ProtocolError(f"array is not wire-encodable: {error}") from error
+        parts.append(_U64.pack(len(payload)))
+        parts.append(payload)
+    body = b"".join(parts)
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the {max_bytes}-byte bound"
+        )
+    return MAGIC + _U64.pack(len(body)) + body
+
+
+def decode_frame(data: bytes, max_bytes: int = MAX_FRAME_BYTES) -> Frame:
+    """Decode one complete frame from ``data`` (which must hold exactly one).
+
+    Raises :class:`ProtocolError` on bad magic, truncation, oversized
+    lengths, malformed JSON / npy payloads, or trailing bytes.
+    """
+    if len(data) < len(MAGIC) + _U64.size:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} bytes is shorter than the "
+            f"{len(MAGIC) + _U64.size}-byte frame prelude"
+        )
+    if data[: len(MAGIC)] != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {data[:len(MAGIC)]!r} (expected {MAGIC!r})"
+        )
+    (body_length,) = _U64.unpack_from(data, len(MAGIC))
+    if body_length > max_bytes:
+        raise ProtocolError(
+            f"declared frame body of {body_length} bytes exceeds the "
+            f"{max_bytes}-byte bound"
+        )
+    body_start = len(MAGIC) + _U64.size
+    if len(data) - body_start != body_length:
+        raise ProtocolError(
+            f"frame declares a {body_length}-byte body but "
+            f"{len(data) - body_start} bytes follow the prelude"
+        )
+    return _decode_body(memoryview(data)[body_start:])
+
+
+def _decode_body(body: memoryview) -> Frame:
+    offset = 0
+
+    def take(n: int, what: str) -> memoryview:
+        nonlocal offset
+        if n > len(body) - offset:
+            raise ProtocolError(
+                f"truncated frame body: {what} needs {n} bytes but only "
+                f"{len(body) - offset} remain"
+            )
+        view = body[offset:offset + n]
+        offset += n
+        return view
+
+    (header_length,) = _U32.unpack(take(_U32.size, "header length"))
+    if header_length > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"declared header of {header_length} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte bound"
+        )
+    header_bytes = take(header_length, "header")
+    try:
+        header = json.loads(bytes(header_bytes).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    (n_arrays,) = _U32.unpack(take(_U32.size, "array count"))
+    if n_arrays > MAX_ARRAYS:
+        raise ProtocolError(
+            f"{n_arrays} arrays in one frame exceeds the {MAX_ARRAYS} bound"
+        )
+    arrays: List[np.ndarray] = []
+    for index in range(n_arrays):
+        (array_length,) = _U64.unpack(take(_U64.size, f"array {index} length"))
+        payload = take(array_length, f"array {index}")
+        try:
+            arrays.append(repro_io.array_from_npy_bytes(bytes(payload)))
+        except Exception as error:
+            # Malformed npy or pickle smuggled in.  Deliberately broad: a
+            # corrupted npy *header* surfaces from numpy's literal-eval as
+            # SyntaxError, not ValueError, and untrusted bytes must never
+            # crash the reader with anything but ProtocolError.
+            raise ProtocolError(
+                f"array {index} is not a valid npy payload: {error}"
+            ) from error
+    if offset != len(body):
+        raise ProtocolError(
+            f"frame body has {len(body) - offset} trailing bytes after its "
+            "declared contents"
+        )
+    return header, arrays
+
+
+def write_frame(stream: BinaryIO, header: Dict[str, object],
+                arrays: Sequence[np.ndarray] = (),
+                max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Encode and write one frame to a binary stream, then flush it."""
+    stream.write(encode_frame(header, arrays, max_bytes=max_bytes))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO,
+               max_bytes: int = MAX_FRAME_BYTES) -> Optional[Frame]:
+    """Read one frame from a binary stream.
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames — the orderly-shutdown signal).  Anything else short of a full,
+    valid frame — EOF mid-frame, bad magic, an oversized or garbage length —
+    raises :class:`ProtocolError`.  The declared body length is validated
+    *before* the body is read, so a corrupt prefix can neither hang the
+    reader on a read that will never complete nor allocate unbounded memory.
+    """
+    prelude = stream.read(len(MAGIC) + _U64.size)
+    if prelude == b"":
+        return None
+    if len(prelude) < len(MAGIC) + _U64.size:
+        raise ProtocolError(
+            f"stream ended {len(prelude)} bytes into the frame prelude"
+        )
+    if prelude[: len(MAGIC)] != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {prelude[:len(MAGIC)]!r} (expected {MAGIC!r})"
+        )
+    (body_length,) = _U64.unpack_from(prelude, len(MAGIC))
+    if body_length > max_bytes:
+        raise ProtocolError(
+            f"declared frame body of {body_length} bytes exceeds the "
+            f"{max_bytes}-byte bound"
+        )
+    body = _read_exactly(stream, body_length)
+    return _decode_body(memoryview(body))
+
+
+def _read_exactly(stream: BinaryIO, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"stream ended {n - remaining} bytes into a {n}-byte frame body"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -10,10 +10,12 @@ that grows with users — while replicating the item-side factors (``Sigma``,
 * :class:`ShardPlanner` — splits a fitted decomposition into contiguous
   row-range shards of ``U`` (each shard is itself a complete, self-describing
   :class:`~repro.core.result.IntervalDecomposition`);
-* :class:`ShardedModelStore` — publishes the shards as per-shard NPZ archives
-  (``<name>.shard-NN.npz``) next to the single-file format, each written
-  atomically and the metadata last, with per-shard content fingerprints
-  verified on load;
+* :class:`ShardedModelStore` — publishes the shards as generation-versioned
+  per-shard NPZ archives (``<name>.shard-NN-<gen>.npz``) next to the
+  single-file format, each written atomically and the metadata last, with
+  per-shard content fingerprints verified on load; a reshard publishes a
+  fresh generation and swaps the manifest atomically, so live republish is
+  hitless;
 * :class:`ShardedQueryEngine` — a router with the same query API as
   :class:`~repro.serve.query.QueryEngine` that *scatters* work across one
   engine per shard (thread fan-out over a shared pool) and *gathers* with a
@@ -39,7 +41,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from zipfile import BadZipFile
 
 import numpy as np
@@ -59,6 +61,24 @@ from repro.serve.query import (
 from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
 
 RowRanges = Tuple[Tuple[int, int], ...]
+
+
+def usable_cpu_count() -> int:
+    """CPUs actually usable by this process.
+
+    ``os.sched_getaffinity`` reflects container CPU quotas and ``taskset``
+    pinning, which ``os.cpu_count`` ignores — on a 64-core host limited to 2
+    CPUs, fanning scatter work out 64 ways would only add scheduling
+    overhead to every request.  Falls back to ``os.cpu_count`` on platforms
+    without affinity support (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 def plan_row_ranges(n_rows: int, n_shards: int) -> RowRanges:
@@ -200,27 +220,47 @@ class ShardManifest:
     """Per-shard :func:`repro.io.decomposition_fingerprint` values recorded
     at publish time (``None`` for manifests written without them)."""
 
+    def to_payload(self) -> Dict[str, object]:
+        """The manifest as the JSON payload its sidecar file holds.
+
+        Round-trips through :meth:`ShardedModelStore.manifest_from_payload`,
+        which is how a supervisor ships the exact manifest it planned
+        against to its worker processes — a worker must load the *pinned*
+        generation even after the on-disk manifest has moved on."""
+        payload = self.record.to_dict()
+        payload["row_ranges"] = [list(row_range) for row_range in self.row_ranges]
+        if self.fingerprints is not None:
+            payload["shard_fingerprints"] = list(self.fingerprints)
+        return payload
+
 
 class ShardedModelStore(ModelStore):
     """A :class:`ModelStore` that also publishes and loads sharded models.
 
     Shares the directory (and every read path) with the base store; adds the
-    sharded publish format: ``<name>.shard-NN.npz`` row-range archives plus a
-    ``<name>.json`` manifest carrying the shard count, the row ranges, and a
-    content fingerprint per shard.  Shard files are written first (each
-    individually atomic), the manifest last.
+    sharded publish format: ``<name>.shard-NN-<gen>.npz`` row-range archives
+    plus a ``<name>.json`` manifest carrying the shard count, the publish
+    *generation*, the row ranges, and a content fingerprint per shard.
+    Shard files are written first (each individually atomic), the manifest
+    last.
 
-    **Republish semantics.**  A fresh publish under a new name is invisible
-    until its manifest lands.  Republishing an *existing* sharded name
-    replaces the shard files in place, so a reader racing the publisher can
-    observe a mixed set — which the per-shard fingerprints (recorded by
-    every publish this class writes) detect: the read fails loudly with
-    :class:`ModelStoreError` instead of serving rows from two different
-    publishes, and the serving layer surfaces it as a transient 404 that
-    clears when the manifest lands.  Only a hand-written manifest that omits
-    its ``shard_fingerprints`` gives up that protection.  (Fully hitless
-    sharded republish needs generation-versioned shard archives — a ROADMAP
-    item.)
+    **Republish semantics — hitless by generation versioning.**  A fresh
+    publish under a new name is invisible until its manifest lands.
+    Republishing an *existing* sharded name writes a complete new set of
+    archives under the *next generation number* — it never touches the files
+    the current manifest references — and then swaps the manifest
+    atomically.  A reader therefore always loads a self-consistent
+    generation: whichever manifest it read names exactly the files that
+    publish wrote, and those files are still on disk (the previous
+    generation is deliberately kept through the swap, covering readers that
+    fetched the old manifest moments before it was replaced).  The
+    superseded generation is garbage-collected *after drain*: by the next
+    publish, or explicitly via :meth:`gc_shard_generations` once no reader
+    can still hold its manifest.  Per-shard fingerprints are still recorded
+    and re-verified on load, so even a hand-damaged store fails loudly
+    rather than serving mixed rows.  Manifests written by earlier releases
+    (no ``generation`` field) keep loading from the legacy unversioned
+    paths.
     """
 
     def save_sharded(
@@ -230,36 +270,63 @@ class ShardedModelStore(ModelStore):
         n_shards: int,
         matrix=None,
         fingerprint: Optional[str] = None,
+        generation: Optional[int] = None,
     ) -> ModelRecord:
         """Split ``decomposition`` into ``n_shards`` row-range shards and
-        publish them under ``name`` (replacing any existing model).
+        publish them under ``name`` (replacing any existing model, hitlessly
+        when the existing model is sharded).
 
         ``matrix`` / ``fingerprint`` record the training data exactly as in
-        :meth:`ModelStore.save`.  Returns the published record
-        (``record.shards == n_shards``).
+        :meth:`ModelStore.save`.  ``generation`` overrides the published
+        generation number — it must be greater than the current one; by
+        default the current generation + 1 (or 1 for a fresh name).  Returns
+        the published record (``record.shards == n_shards``,
+        ``record.generation`` set).
         """
         self.check_publish_name(name)
         planner = ShardPlanner(n_shards)
         shards = planner.split(decomposition)
         row_ranges = planner.plan(int(decomposition.shape[0]))
+        # The generation this name currently serves (None when the name is
+        # fresh, single-file, or a legacy unversioned sharded publish).
+        previous_sharded = False
+        previous_generation: Optional[int] = None
+        try:
+            existing = self.record(name)
+        except (ModelStoreError, OSError):
+            existing = None
+        if existing is not None and existing.shards is not None:
+            previous_sharded = True
+            previous_generation = existing.generation
+        if generation is None:
+            generation = (previous_generation or 0) + 1
+        elif generation < 1:
+            raise ModelStoreError(f"shard generation must be >= 1, got {generation}")
+        elif previous_generation is not None and generation <= previous_generation:
+            raise ModelStoreError(
+                f"cannot publish {name!r} at generation {generation}: the "
+                f"store already serves generation {previous_generation}, and "
+                "readers cache engines keyed on monotonically increasing "
+                "generations"
+            )
         for index in range(n_shards):
-            # A legacy model literally named '<name>.shard-NN' (published
-            # before that suffix was reserved) owns this shard's archive
-            # path; overwriting it would silently corrupt that model.
-            squatter = self._shard_path(name, index).name[: -len(".npz")]
+            # A legacy model literally named like this shard's archive stem
+            # (published before that suffix was reserved) owns the path;
+            # overwriting it would silently corrupt that model.
+            squatter = self._shard_path(name, index, generation).name[: -len(".npz")]
             if self._meta_path(squatter).exists():
                 raise ModelStoreError(
                     f"cannot publish {name!r} with {n_shards} shards: a "
                     f"model named {squatter!r} already owns the file "
-                    f"{self._shard_path(name, index).name}; delete or "
-                    "rename it first"
+                    f"{self._shard_path(name, index, generation).name}; "
+                    "delete or rename it first"
                 )
         self.directory.mkdir(parents=True, exist_ok=True)
         if fingerprint is None and matrix is not None:
             fingerprint = repro_io.interval_fingerprint(matrix)
         shard_fingerprints = []
         for index, shard in enumerate(shards):
-            with repro_io.atomic_write(self._shard_path(name, index)) as tmp:
+            with repro_io.atomic_write(self._shard_path(name, index, generation)) as tmp:
                 repro_io.save_decomposition_npz(shard, tmp)
             shard_fingerprints.append(repro_io.decomposition_fingerprint(shard))
         record = ModelRecord(
@@ -271,18 +338,45 @@ class ShardedModelStore(ModelStore):
             fingerprint=fingerprint,
             created_at=time.time(),
             shards=n_shards,
+            generation=generation,
         )
         payload = record.to_dict()
         payload["row_ranges"] = [list(row_range) for row_range in row_ranges]
         payload["shard_fingerprints"] = shard_fingerprints
         with repro_io.atomic_write(self._meta_path(name)) as tmp:
             tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        # A republish may shrink the shard count or replace a single-file
-        # model; drop the files the new manifest no longer references.
-        self._remove_stale_shards(name, keep=n_shards)
+        # GC everything except the generation just published and the one it
+        # replaced — the previous generation stays on disk through the swap
+        # so a reader holding the just-replaced manifest can still open the
+        # files it names (POSIX keeps already-open files alive regardless).
+        # The next publish, or gc_shard_generations(), collects it.
+        keep: Dict[Optional[int], Optional[int]] = {generation: n_shards}
+        if previous_sharded:
+            keep.setdefault(previous_generation, None)
+        self._remove_stale_shards(name, keep=keep)
         with contextlib.suppress(FileNotFoundError):  # racing republishers
             self._npz_path(name).unlink()
         return record
+
+    def gc_shard_generations(self, name: str) -> int:
+        """Garbage-collect shard archives of superseded generations.
+
+        Removes every shard file of ``name`` that the current manifest does
+        not reference (older generations kept through a reshard swap, or
+        leftovers of interrupted publishes); returns the number of files
+        removed.  Call after drain — once no reader can still hold a
+        manifest from before the latest publish.  Readers that already
+        opened the old files are unaffected (POSIX unlink semantics).
+        """
+        manifest = self.manifest(name)
+        record = manifest.record
+        stale = [
+            path for _, gen, path in self._owned_shard_paths(name)
+            if gen != record.generation
+        ]
+        self._remove_stale_shards(
+            name, keep={record.generation: record.shards})
+        return len(stale)
 
     def manifest(self, name: str) -> ShardManifest:
         """Shard-level metadata of one published sharded model.
@@ -291,7 +385,17 @@ class ShardedModelStore(ModelStore):
         a concurrent republish can never mix one publish's record with
         another's row ranges or fingerprints.
         """
-        payload = self._read_meta(name)
+        return self.manifest_from_payload(name, self._read_meta(name))
+
+    def manifest_from_payload(self, name: str,
+                              payload: Dict[str, object]) -> ShardManifest:
+        """Parse a manifest from its JSON payload (see
+        :meth:`ShardManifest.to_payload`).
+
+        Used by shard workers, which receive the supervisor's pinned
+        manifest instead of re-reading the sidecar: the sidecar may already
+        describe a *newer* generation whose layout the supervisor never
+        planned against."""
         record = self._record_from_payload(name, payload)
         if record.shards is None:
             raise ModelStoreError(
@@ -337,38 +441,66 @@ class ShardedModelStore(ModelStore):
         the wrong rows.
         """
         manifest = self.manifest(name)
-        shards = []
-        for index, (start, stop) in enumerate(manifest.row_ranges):
-            path = self._shard_path(name, index)
-            try:
-                shard = repro_io.load_decomposition_npz(path)
-            except FileNotFoundError:
-                raise ModelStoreError(
-                    f"model {name!r} is missing shard file {path.name}"
-                ) from None
-            except (OSError, BadZipFile, KeyError, ValueError) as error:
-                # ValueError covers IntervalError (not-a-decomposition
-                # archives) and numpy's unpickling complaints; BadZipFile is
-                # what a truncated publish actually raises.
-                raise ModelStoreError(
-                    f"shard file {path.name} of model {name!r} is not "
-                    f"loadable: {error}"
-                ) from error
-            if int(shard.shape[0]) != stop - start:
-                raise ModelStoreError(
-                    f"shard {index} of {name!r} holds {shard.shape[0]} rows "
-                    f"but the manifest assigns it rows [{start}, {stop})"
-                )
-            if verify and manifest.fingerprints is not None:
-                actual = repro_io.decomposition_fingerprint(shard)
-                if actual != manifest.fingerprints[index]:
-                    raise ModelStoreError(
-                        f"shard {index} of {name!r} does not match its "
-                        "published fingerprint (swapped or corrupted shard "
-                        "file?)"
-                    )
-            shards.append(shard)
+        shards = [
+            self._load_one_shard(name, manifest, index, verify=verify)
+            for index in range(manifest.record.shards)
+        ]
         return shards, manifest
+
+    def load_shard(
+        self, name: str, index: int,
+        manifest: Optional[ShardManifest] = None, verify: bool = True,
+    ) -> Tuple[IntervalDecomposition, ShardManifest]:
+        """Load a single row-range shard of a sharded model.
+
+        What a shard *worker process* loads at startup: one shard's factors,
+        never the whole model.  ``manifest`` pins the generation to load —
+        pass the manifest the supervisor planned against so a reshard racing
+        the worker start yields a loud generation mismatch (the supervisor
+        respawns against the fresh manifest) instead of a silently mixed
+        model.  Verification semantics match :meth:`load_shards`.
+        """
+        if manifest is None:
+            manifest = self.manifest(name)
+        if not 0 <= index < manifest.record.shards:
+            raise ModelStoreError(
+                f"model {name!r} has {manifest.record.shards} shards; "
+                f"shard {index} does not exist"
+            )
+        return self._load_one_shard(name, manifest, index, verify=verify), manifest
+
+    def _load_one_shard(self, name: str, manifest: ShardManifest, index: int,
+                        verify: bool = True) -> IntervalDecomposition:
+        start, stop = manifest.row_ranges[index]
+        path = self._shard_path(name, index, manifest.record.generation)
+        try:
+            shard = repro_io.load_decomposition_npz(path)
+        except FileNotFoundError:
+            raise ModelStoreError(
+                f"model {name!r} is missing shard file {path.name}"
+            ) from None
+        except (OSError, BadZipFile, KeyError, ValueError) as error:
+            # ValueError covers IntervalError (not-a-decomposition
+            # archives) and numpy's unpickling complaints; BadZipFile is
+            # what a truncated publish actually raises.
+            raise ModelStoreError(
+                f"shard file {path.name} of model {name!r} is not "
+                f"loadable: {error}"
+            ) from error
+        if int(shard.shape[0]) != stop - start:
+            raise ModelStoreError(
+                f"shard {index} of {name!r} holds {shard.shape[0]} rows "
+                f"but the manifest assigns it rows [{start}, {stop})"
+            )
+        if verify and manifest.fingerprints is not None:
+            actual = repro_io.decomposition_fingerprint(shard)
+            if actual != manifest.fingerprints[index]:
+                raise ModelStoreError(
+                    f"shard {index} of {name!r} does not match its "
+                    "published fingerprint (swapped or corrupted shard "
+                    "file?)"
+                )
+        return shard
 
     def load_merged(self, name: str) -> Tuple[IntervalDecomposition, ModelRecord]:
         """Load any model — sharded or single-file — as one decomposition.
@@ -478,8 +610,10 @@ class ShardedQueryEngine:
         #: chunking is a free choice — row-local scoring makes any chunking
         #: byte-identical — so it adapts to the cores actually available:
         #: fanning a single CPU out over four threads would only add
-        #: scheduling overhead to every request.
-        self._scatter_width = max(1, min(len(self.engines), os.cpu_count() or 1))
+        #: scheduling overhead to every request.  Sized by the CPUs this
+        #: process may actually run on (container quotas, affinity masks),
+        #: not the host's core count.
+        self._scatter_width = max(1, min(len(self.engines), usable_cpu_count()))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False

@@ -6,9 +6,13 @@ layout):
 
 * **single-file** — ``<name>.npz``: the factors, via the :mod:`repro.io`
   decomposition round-trip (so anything the registry can fit can be served);
-* **sharded** — ``<name>.shard-00.npz`` … ``<name>.shard-NN.npz``: row-range
-  shards of ``U`` with the item factors replicated per shard, published by
-  :class:`~repro.serve.shard.ShardedModelStore`.
+* **sharded** — ``<name>.shard-NN-<gen>.npz`` row-range shards of ``U``
+  with the item factors replicated per shard, published by
+  :class:`~repro.serve.shard.ShardedModelStore`.  ``<gen>`` is the publish
+  generation: every reshard writes a fresh set of archives under the next
+  generation number and swaps the manifest atomically, keeping the previous
+  generation on disk for in-flight readers (legacy models without the
+  generation suffix stay loadable).
 
 Either way ``<name>.json`` carries the metadata: method key, decomposition
 target, rank, the shape of the training matrix, its
@@ -40,9 +44,10 @@ PathLike = Union[str, Path]
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 #: Names ending like a shard archive stem are reserved: a model literally
-#: named ``x.shard-01`` would share its ``.npz`` path with shard 1 of a
-#: sharded model ``x``, so publishing either would corrupt the other.
-_RESERVED_SUFFIX = re.compile(r"\.shard-\d+$")
+#: named ``x.shard-01`` (or ``x.shard-01-002``, the generation-versioned
+#: form) would share its ``.npz`` path with shard 1 of a sharded model
+#: ``x``, so publishing either would corrupt the other.
+_RESERVED_SUFFIX = re.compile(r"\.shard-\d+(-\d+)?$")
 
 
 class ModelStoreError(ValueError):
@@ -57,8 +62,13 @@ class ModelRecord:
     models published by
     :class:`~repro.serve.shard.ShardedModelStore` — whose factors live in
     ``<name>.shard-NN.npz`` row-range archives instead of ``<name>.npz``.
-    Single-file sidecars stay byte-compatible with earlier releases (the key
-    is simply absent).
+    ``generation`` is the publish generation of a sharded model: publishes
+    since the hitless-reshard release write their archives to
+    generation-versioned paths (``<name>.shard-NN-<gen>.npz``) and bump the
+    number on every reshard, so a republish never overwrites the files a
+    concurrent reader is loading.  ``None`` means the legacy unversioned
+    layout (and always accompanies ``shards=None``).  Single-file sidecars
+    stay byte-compatible with earlier releases (the keys are simply absent).
     """
 
     name: str
@@ -69,6 +79,7 @@ class ModelRecord:
     fingerprint: Optional[str]
     created_at: float
     shards: Optional[int] = None
+    generation: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the sidecar and the HTTP API)."""
@@ -76,14 +87,20 @@ class ModelRecord:
         payload["shape"] = list(self.shape)
         if self.shards is None:
             del payload["shards"]
+        if self.generation is None:
+            del payload["generation"]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ModelRecord":
-        """Inverse of :meth:`to_dict` (tolerates sidecars without ``shards``)."""
+        """Inverse of :meth:`to_dict` (tolerates sidecars without ``shards``
+        or ``generation``)."""
         shards = payload.get("shards")
         if shards is not None and int(shards) < 1:
             raise ValueError(f"invalid shard count {shards!r}")
+        generation = payload.get("generation")
+        if generation is not None and int(generation) < 1:
+            raise ValueError(f"invalid shard generation {generation!r}")
         return cls(
             name=str(payload["name"]),
             method=str(payload["method"]),
@@ -94,6 +111,7 @@ class ModelRecord:
                          else str(payload["fingerprint"])),
             created_at=float(payload["created_at"]),
             shards=None if shards is None else int(shards),
+            generation=None if generation is None else int(generation),
         )
 
 
@@ -146,18 +164,25 @@ class ModelStore:
     def _meta_path(self, name: str) -> Path:
         return self.directory / f"{name}.json"
 
-    def _shard_path(self, name: str, index: int) -> Path:
-        return self.directory / f"{name}.shard-{index:02d}.npz"
+    def _shard_path(self, name: str, index: int,
+                    generation: Optional[int] = None) -> Path:
+        """Path of one shard archive: generation-versioned when a generation
+        is given (``<name>.shard-NN-<gen>.npz``), the legacy unversioned path
+        otherwise."""
+        if generation is None:
+            return self.directory / f"{name}.shard-{index:02d}.npz"
+        return self.directory / f"{name}.shard-{index:02d}-{generation:03d}.npz"
 
     def _factor_paths(self, name: str, record: "ModelRecord") -> List[Path]:
         """Every factor archive a complete model named ``name`` requires.
 
-        Driven by the metadata's shard count, not by ``record.name``, so a
-        sidecar copied under a different file name cannot point completeness
-        checks at another model's factors.
+        Driven by the metadata's shard count and generation, not by
+        ``record.name``, so a sidecar copied under a different file name
+        cannot point completeness checks at another model's factors.
         """
         if record.shards is not None:
-            return [self._shard_path(name, i) for i in range(record.shards)]
+            return [self._shard_path(name, i, record.generation)
+                    for i in range(record.shards)]
         return [self._npz_path(name)]
 
     # ------------------------------------------------------------------ #
@@ -193,17 +218,18 @@ class ModelStore:
             repro_io.save_decomposition_npz(decomposition, tmp)
         with repro_io.atomic_write(self._meta_path(name)) as tmp:
             tmp.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
-        self._remove_stale_shards(name, keep=0)
+        self._remove_stale_shards(name)
         return record
 
-    def _owned_shard_paths(self, name: str) -> List[Tuple[int, Path]]:
-        """``(index, path)`` of every existing shard archive owned by ``name``.
+    def _owned_shard_paths(self, name: str) -> List[Tuple[int, Optional[int], Path]]:
+        """``(index, generation, path)`` of every existing shard archive owned
+        by ``name`` (``generation`` is ``None`` for legacy unversioned files).
 
         Files whose stem is itself a *published* model (a legacy model
         literally named ``<name>.shard-07``) are excluded — they belong to
         that model, whatever their name suggests.
         """
-        pattern = re.compile(re.escape(name) + r"\.shard-(\d+)\.npz$")
+        pattern = re.compile(re.escape(name) + r"\.shard-(\d+)(?:-(\d+))?\.npz$")
         if not self.directory.is_dir():
             return []
         owned = []
@@ -213,19 +239,37 @@ class ModelStore:
                 continue
             if self._meta_path(path.name[: -len(".npz")]).exists():
                 continue  # a real model owns this file name
-            owned.append((int(match.group(1)), path))
+            generation = match.group(2)
+            owned.append((int(match.group(1)),
+                          None if generation is None else int(generation),
+                          path))
         return owned
 
-    def _remove_stale_shards(self, name: str, keep: int) -> None:
-        """Unlink ``<name>.shard-NN.npz`` files with ``NN >= keep``.
+    def _remove_stale_shards(
+        self, name: str,
+        keep: Optional[Dict[Optional[int], Optional[int]]] = None,
+    ) -> None:
+        """Unlink owned shard archives the keep map does not protect.
 
-        Called after a publish replaces a sharded model with a single-file
-        one (``keep=0``) or with fewer shards, so stale row-range archives do
-        not linger.
+        ``keep`` maps generation (``None`` for legacy unversioned files) to
+        the number of shard indices to keep of that generation (``None``
+        keeps the whole generation).  Files of unlisted generations are
+        removed.  ``keep=None`` (or ``{}``) removes every owned shard file —
+        what a single-file republish does.
+
+        The sharded publish path keeps the *previous* generation alongside
+        the new one: a reader that loaded the previous manifest moments
+        before the swap can still open the files it names.  The previous
+        generation is garbage-collected by the next publish (or an explicit
+        :meth:`~repro.serve.shard.ShardedModelStore.gc_shard_generations`),
+        once no reader can still hold a manifest that references it.
         """
-        for index, path in self._owned_shard_paths(name):
-            if index < keep:
-                continue
+        keep = keep or {}
+        for index, generation, path in self._owned_shard_paths(name):
+            if generation in keep:
+                limit = keep[generation]
+                if limit is None or index < limit:
+                    continue
             with contextlib.suppress(FileNotFoundError):
                 path.unlink()
 
@@ -338,7 +382,11 @@ class ModelStore:
             raise ModelStoreError(f"no model named {name!r} in {self.directory}")
         try:
             record = self.record(name)
-            paths = self._factor_paths(name, record)
+            # Beyond the current generation's archives, sweep any previous
+            # generation a recent reshard kept around for in-flight readers.
+            paths = self._factor_paths(name, record) + [
+                path for _, _, path in self._owned_shard_paths(name)
+            ]
         except (ModelStoreError, OSError):
             # The sidecar exists but cannot be parsed, so the factor layout
             # is unknown.  Deletion is the cleanup path for exactly such
@@ -346,7 +394,7 @@ class ModelStore:
             # (the single file plus any shard files not owned by another
             # published model).
             paths = [self._npz_path(name)] + [
-                path for _, path in self._owned_shard_paths(name)
+                path for _, _, path in self._owned_shard_paths(name)
             ]
         self._meta_path(name).unlink()
         for path in paths:

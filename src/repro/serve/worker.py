@@ -1,0 +1,875 @@
+"""Per-shard worker processes behind the sharded serving front end.
+
+One Python process bounds every thread-based scatter at the GIL (numpy
+releases it in BLAS, but selection, fold-in bookkeeping and framing do not
+parallelize), and a single address space means one bad allocation takes the
+whole service down.  This module moves each row-range shard into its own
+**worker process**:
+
+* :func:`worker_main` — the ``python -m repro.serve.worker`` entry point: it
+  loads exactly one shard (:meth:`ShardedModelStore.load_shard`), connects
+  back to the supervisor over localhost TCP, and answers request frames
+  until end-of-stream.  The wire format is the length-prefixed npy framing
+  of :mod:`repro.serve.protocol` — no pickle in either direction;
+* :class:`ShardWorkerSupervisor` — spawns one worker per shard, checks
+  their health, restarts the dead, and tears everything down without
+  leaving orphans (workers exit on socket EOF, so even a killed supervisor
+  releases them);
+* :class:`WorkerShardedQueryEngine` — the process-backed counterpart of
+  :class:`~repro.serve.shard.ShardedQueryEngine`: same query API, same
+  *byte-identical* answers, but each shard's scoring runs in its own
+  process.
+
+**Why results stay byte-identical.**  Every scoring path is row-local and
+deterministic (einsum fold-in, element-local distances), the replicated
+item factors are bitwise equal across shards — so each worker's fold-in
+projector computes the exact same pseudo-inverse bits the in-process router
+shares — and npy framing round-trips array bytes exactly.  The gather then
+merges under :func:`~repro.serve.query.top_k`'s total order, which provably
+reproduces the unsharded selection.  The parity suite asserts byte equality
+against both :class:`~repro.serve.query.QueryEngine` and the in-process
+router (``tests/test_serve_worker.py``).
+
+**Generation pinning.**  The supervisor plans against one
+:class:`~repro.serve.shard.ShardManifest` and ships that exact manifest
+(JSON in the environment) to every worker it spawns, so workers load the
+*pinned* generation even after a reshard has moved the on-disk sidecar on —
+the superseded generation's files are kept until drain precisely for this.
+A worker whose pinned generation is no longer loadable (two reshards, or an
+explicit GC) exits with :data:`EXIT_STALE_GENERATION` instead of loading
+mixed rows, and a supervisor refuses to *start* a fresh fleet against a
+superseded manifest.  The front end's engine cache keys on the generation,
+so the next request simply builds a fresh engine against the new manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hmac
+import json
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+import repro
+from repro.interval.array import IntervalMatrix
+from repro.interval.kernels import KernelLike, get_kernel
+from repro.interval.sparse import is_sparse_interval
+from repro.serve.foldin import FoldInProjector, Rows
+from repro.serve.protocol import (
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.serve.query import (
+    QueryEngine,
+    TopKResult,
+    top_k,
+    top_k_from_candidates,
+)
+from repro.serve.shard import (
+    ShardedModelStore,
+    ShardManifest,
+    plan_row_ranges,
+)
+from repro.serve.store import ModelStoreError
+
+#: Worker exit status when the on-disk manifest no longer matches the
+#: generation the supervisor pinned (a reshard raced the worker start).
+EXIT_STALE_GENERATION = 3
+
+#: Name of the environment variable carrying the connect-back auth token
+#: (environment, not argv: argv is world-readable in ``ps``).
+TOKEN_ENV = "REPRO_WORKER_TOKEN"
+
+#: Environment variable carrying the supervisor's pinned manifest as JSON
+#: (see :meth:`ShardManifest.to_payload`).  The worker loads *this* layout,
+#: not the on-disk sidecar: after a reshard the sidecar describes a newer
+#: generation, but the superseded generation's files are deliberately kept
+#: on disk until drain, so a pinned worker keeps restarting hitlessly.
+MANIFEST_ENV = "REPRO_WORKER_MANIFEST"
+
+#: Seconds the supervisor waits for a spawned worker to connect back and
+#: authenticate before declaring the spawn failed.
+SPAWN_TIMEOUT = 60.0
+
+
+class WorkerError(RuntimeError):
+    """A shard worker failed: bad frame, dead process, or a remote error."""
+
+
+def _generation_token(generation: Optional[int]) -> str:
+    """Command-line encoding of a pinned generation (legacy manifests have
+    none)."""
+    return "legacy" if generation is None else str(generation)
+
+
+def _parse_generation_token(token: str) -> Optional[int]:
+    return None if token == "legacy" else int(token)
+
+
+# --------------------------------------------------------------------- #
+# Worker side (runs in the spawned process)
+# --------------------------------------------------------------------- #
+def _build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.worker",
+        description="One row-range shard worker (spawned by the serving "
+                    "supervisor; not intended for interactive use)",
+    )
+    parser.add_argument("--store", required=True, help="model store directory")
+    parser.add_argument("--model", required=True, help="sharded model name")
+    parser.add_argument("--shard", required=True, type=int, help="shard index")
+    parser.add_argument("--generation", required=True,
+                        help="pinned manifest generation ('legacy' for "
+                             "manifests without one)")
+    parser.add_argument("--connect-port", required=True, type=int,
+                        help="supervisor's localhost connect-back port")
+    parser.add_argument("--kernel", default=None,
+                        help="interval-product kernel key")
+    return parser
+
+
+def worker_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of one shard worker process.
+
+    Loads its shard (fingerprint-verified), connects back to the
+    supervisor, authenticates with the token from :data:`TOKEN_ENV`, then
+    answers request frames until the supervisor closes the connection —
+    end-of-stream is the shutdown signal, so a worker can never outlive its
+    socket, even when the supervisor dies without cleanup.
+    """
+    args = _build_arg_parser().parse_args(argv)
+    token = os.environ.get(TOKEN_ENV, "")
+    if not token:
+        print("worker: no auth token in the environment", file=sys.stderr)
+        return 2
+    expected_generation = _parse_generation_token(args.generation)
+    store = ShardedModelStore(args.store)
+    pinned_payload = os.environ.get(MANIFEST_ENV)
+    if pinned_payload:
+        manifest = store.manifest_from_payload(args.model,
+                                               json.loads(pinned_payload))
+    else:  # hand-run without a supervisor: serve whatever is current
+        manifest = store.manifest(args.model)
+    if manifest.record.generation != expected_generation:
+        print(
+            f"worker: manifest of {args.model!r} is at generation "
+            f"{manifest.record.generation} (pinned {expected_generation})",
+            file=sys.stderr,
+        )
+        return EXIT_STALE_GENERATION
+    try:
+        shard, manifest = store.load_shard(args.model, args.shard,
+                                           manifest=manifest)
+    except ModelStoreError as error:
+        # The pinned generation's files are gone — more than one reshard
+        # has passed (or an explicit GC ran) since this worker's supervisor
+        # planned.  Exit with the stale status so the supervisor reports
+        # the cause instead of a bare load failure.
+        print(f"worker: pinned generation "
+              f"{_generation_token(expected_generation)} of {args.model!r} "
+              f"is no longer loadable: {error}", file=sys.stderr)
+        return EXIT_STALE_GENERATION
+    engine = QueryEngine(shard, kernel=args.kernel)
+    row_start = manifest.row_ranges[args.shard][0]
+
+    connection = socket.create_connection(("127.0.0.1", args.connect_port))
+    try:
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = connection.makefile("rwb")
+        write_frame(stream, {
+            "op": "hello",
+            "token": token,
+            "shard": args.shard,
+            "generation": manifest.record.generation,
+            "n_users": engine.n_users,
+            "n_items": engine.n_items,
+            "pid": os.getpid(),
+        })
+        _serve_requests(stream, engine, row_start)
+    except KeyboardInterrupt:
+        # Terminal Ctrl-C reaches the whole foreground process group;
+        # interactive shutdown is normal, not a crash worth a traceback.
+        pass
+    finally:
+        connection.close()
+    return 0
+
+
+def _serve_requests(stream, engine: QueryEngine, row_start: int) -> None:
+    """Answer request frames until end-of-stream (the shutdown signal)."""
+    while True:
+        frame = read_frame(stream)
+        if frame is None:  # supervisor closed the socket: exit cleanly
+            return
+        header, arrays = frame
+        op = header.get("op")
+        if op == "shutdown":
+            write_frame(stream, {"ok": True})
+            return
+        try:
+            reply, out_arrays = _run_op(engine, row_start, op, header, arrays)
+        except Exception as error:  # report, keep serving: one bad request
+            write_frame(stream, {"ok": False,  # must not kill the shard
+                                 "error": f"{type(error).__name__}: {error}"})
+            continue
+        write_frame(stream, reply, out_arrays)
+
+
+def _run_op(engine: QueryEngine, row_start: int, op: Optional[object],
+            header: Dict[str, object],
+            arrays: List[np.ndarray]) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """Execute one request against the worker's shard engine.
+
+    Query rows and folded features arrive as endpoint array pairs; results
+    leave as npy arrays, so both directions round-trip bit-exactly.
+    """
+    if op == "ping":
+        return {"ok": True, "pid": os.getpid()}, []
+    if op == "reconstruct_rows":
+        rows = _interval_pair(arrays, "reconstruct_rows")
+        return {"ok": True}, [engine.reconstruct_rows(rows)]
+    if op == "top_k_items":
+        rows = _interval_pair(arrays, "top_k_items")
+        result = engine.top_k_items(rows, _k_of(header))
+        return {"ok": True}, [result.indices, result.scores]
+    if op == "squared_distances":
+        features = _interval_pair(arrays, "squared_distances")
+        return {"ok": True}, [engine.squared_distances_to_references(features)]
+    if op == "candidates":
+        features = _interval_pair(arrays, "candidates")
+        squared = engine.squared_distances_to_references(features)
+        local = top_k(squared, _k_of(header), largest=False)
+        # Shift to global stored-row indices here, so the gather side never
+        # needs to know which worker a candidate came from.
+        return {"ok": True}, [local.indices + row_start, local.scores]
+    if op == "scores_for_users":
+        if header.get("all"):
+            return {"ok": True}, [engine.scores_for_users()]
+        if len(arrays) != 1:
+            raise WorkerError("scores_for_users expects one index array")
+        return {"ok": True}, [engine.scores_for_users(
+            np.asarray(arrays[0], dtype=int))]
+    raise WorkerError(f"unknown worker op {op!r}")
+
+
+def _interval_pair(arrays: Sequence[np.ndarray], op: str) -> IntervalMatrix:
+    if len(arrays) != 2:
+        raise WorkerError(
+            f"{op} expects a lower/upper endpoint array pair, got "
+            f"{len(arrays)} arrays"
+        )
+    return IntervalMatrix(np.asarray(arrays[0], dtype=float),
+                          np.asarray(arrays[1], dtype=float), check=False)
+
+
+def _k_of(header: Dict[str, object]) -> int:
+    k = header.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise WorkerError(f"'k' must be a positive integer, got {k!r}")
+    return k
+
+
+# --------------------------------------------------------------------- #
+# Supervisor side (runs in the serving process)
+# --------------------------------------------------------------------- #
+class WorkerHandle:
+    """One spawned worker: its process, its connection, its request lock."""
+
+    def __init__(self, shard: int, process: subprocess.Popen,
+                 connection: socket.socket, stream,
+                 generation: Optional[int]):
+        self.shard = shard
+        self.process = process
+        self.connection = connection
+        self.stream = stream
+        self.generation = generation
+        #: Serializes request/response exchanges on this worker's socket
+        #: (scatter fans out across workers, never within one).
+        self.lock = threading.Lock()
+        self.dead = False
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return not self.dead and self.process.poll() is None
+
+    def mark_dead(self) -> None:
+        self.dead = True
+        # shutdown() sends the FIN even while the makefile stream still
+        # holds a reference to the descriptor — connection.close() alone
+        # would only drop a refcount and the worker would never see EOF.
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:  # already reset or never connected
+            pass
+        try:
+            self.stream.close()
+        except (OSError, ValueError):  # flush on a shut-down socket
+            pass
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - close of a reset socket
+            pass
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Close the socket (the worker's shutdown signal) and wait; escalate
+        to terminate/kill only if the worker ignores end-of-stream."""
+        self.mark_dead()
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                self.process.kill()
+                self.process.wait()
+
+
+class ShardWorkerSupervisor:
+    """Spawns, health-checks, restarts and reaps one worker per shard.
+
+    Workers connect back over localhost TCP and authenticate with a
+    per-supervisor random token, so another local process cannot slip a
+    rogue worker into the accept window.  A background monitor respawns
+    workers that exit unexpectedly; :meth:`call` transparently restarts the
+    target worker once before failing a request.
+    """
+
+    def __init__(self, directory: Union[str, Path], name: str,
+                 manifest: ShardManifest, kernel: KernelLike = None,
+                 monitor_interval: float = 0.5):
+        self.directory = Path(directory)
+        self.name = name
+        self.manifest = manifest
+        self.kernel_key = get_kernel(kernel).key
+        self.monitor_interval = monitor_interval
+        self._token = secrets.token_hex(16)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(manifest.record.shards)
+        self._port = self._listener.getsockname()[1]
+        #: Serializes spawn + connect-back accept: concurrent restarts must
+        #: not interleave their accepts and adopt each other's workers.
+        self._spawn_lock = threading.Lock()
+        self._handles: List[Optional[WorkerHandle]] = \
+            [None] * manifest.record.shards
+        self._restarts = [0] * manifest.record.shards
+        self._closed = False
+        self._monitor: Optional[threading.Thread] = None
+
+    @property
+    def n_shards(self) -> int:
+        return self.manifest.record.shards
+
+    def start(self) -> None:
+        """Spawn every worker and start the health monitor.
+
+        Refuses to *start* against a superseded manifest (a reshard landed
+        between planning and start): a fresh fleet must serve the current
+        generation.  Once started, though, the fleet stays pinned — worker
+        *restarts* keep loading the pinned generation from its kept files,
+        which is what makes a reshard hitless for in-flight engines.
+        """
+        current = ShardedModelStore(self.directory) \
+            .manifest(self.name).record.generation
+        if current != self.manifest.record.generation:
+            raise WorkerError(
+                f"cannot start workers for {self.name!r}: stale manifest "
+                f"generation {self.manifest.record.generation} (the store "
+                f"now serves generation {current})"
+            )
+        for shard in range(self.n_shards):
+            self._handles[shard] = self._spawn(shard)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="repro-worker-monitor",
+                                         daemon=True)
+        self._monitor.start()
+
+    def _spawn(self, shard: int) -> WorkerHandle:
+        # Import the entry point rather than `-m repro.serve.worker`: the
+        # package __init__ already imports this module, so runpy would
+        # re-execute it and warn about the duplicate in sys.modules.
+        command = [
+            sys.executable, "-c",
+            "import sys; from repro.serve.worker import worker_main; "
+            "sys.exit(worker_main(sys.argv[1:]))",
+            "--store", str(self.directory),
+            "--model", self.name,
+            "--shard", str(shard),
+            "--generation",
+            _generation_token(self.manifest.record.generation),
+            "--connect-port", str(self._port),
+            "--kernel", self.kernel_key,
+        ]
+        environment = dict(os.environ)
+        environment[TOKEN_ENV] = self._token
+        environment[MANIFEST_ENV] = json.dumps(self.manifest.to_payload())
+        # The worker must import the same `repro` this process runs,
+        # whether it came from PYTHONPATH, an install, or a bare checkout.
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = environment.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            environment["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else ""))
+        with self._spawn_lock:
+            process = subprocess.Popen(command, env=environment,
+                                       stdin=subprocess.DEVNULL)
+            try:
+                handle = self._accept(shard, process)
+            except Exception:
+                process.terminate()
+                try:
+                    process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait()
+                raise
+        return handle
+
+    def _accept(self, shard: int, process: subprocess.Popen) -> WorkerHandle:
+        """Accept the spawned worker's connect-back and validate its hello."""
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerError(
+                    f"worker for shard {shard} of {self.name!r} did not "
+                    f"connect back within {SPAWN_TIMEOUT:.0f}s"
+                )
+            if process.poll() is not None:
+                raise WorkerError(
+                    f"worker for shard {shard} of {self.name!r} exited with "
+                    f"status {process.returncode} before connecting"
+                    + (" (stale manifest generation)"
+                       if process.returncode == EXIT_STALE_GENERATION else "")
+                )
+            self._listener.settimeout(min(remaining, 0.2))
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = connection.makefile("rwb")
+            try:
+                frame = read_frame(stream)
+            except ProtocolError as error:
+                connection.close()
+                raise WorkerError(
+                    f"worker connect-back sent a malformed hello: {error}"
+                ) from error
+            if frame is None:
+                connection.close()
+                continue  # a connect-scan closed without a hello; keep waiting
+            hello, _ = frame
+            if not hmac.compare_digest(str(hello.get("token", "")),
+                                       self._token):
+                connection.close()
+                raise WorkerError("worker connect-back failed authentication")
+            if hello.get("op") != "hello" or hello.get("shard") != shard:
+                connection.close()
+                raise WorkerError(
+                    f"worker connect-back announced shard "
+                    f"{hello.get('shard')!r}, expected {shard}"
+                )
+            return WorkerHandle(shard, process, connection, stream,
+                                self.manifest.record.generation)
+
+    def _monitor_loop(self) -> None:
+        """Respawn workers that exited unexpectedly (crash, OOM kill)."""
+        while not self._closed:
+            time.sleep(self.monitor_interval)
+            for shard in range(self.n_shards):
+                handle = self._handles[shard]
+                if self._closed or handle is None or handle.alive():
+                    continue
+                try:
+                    self._restart(shard, handle)
+                except Exception as error:  # keep monitoring; calls will
+                    if not self._closed:    # surface the failure loudly
+                        print(f"worker monitor: respawn of shard {shard} "
+                              f"failed: {error}", file=sys.stderr)
+
+    def _restart(self, shard: int, failed: WorkerHandle) -> WorkerHandle:
+        """Replace one dead worker (no-op if another thread already did)."""
+        current = self._handles[shard]
+        if current is not failed:
+            if current is None:
+                raise WorkerError(f"shard {shard} has no worker")
+            return current
+        failed.reap()
+        if self._closed:
+            raise WorkerError("supervisor is closed")
+        handle = self._spawn(shard)
+        self._handles[shard] = handle
+        self._restarts[shard] += 1
+        return handle
+
+    def call(self, shard: int, header: Dict[str, object],
+             arrays: Sequence[np.ndarray] = ()) -> Tuple[Dict[str, object], List[np.ndarray]]:
+        """One request/response exchange with a shard worker.
+
+        A transport failure (dead process, bad frame) restarts the worker
+        and retries the request once — covering a worker lost between
+        health checks — before raising :class:`WorkerError`.  An error the
+        worker itself reports (``ok: false``) raises without a restart: the
+        worker is healthy, the request was bad.
+        """
+        handle = self._handles[shard]
+        if handle is None:
+            raise WorkerError(f"shard {shard} has no worker")
+        try:
+            return self._exchange(handle, header, arrays)
+        except WorkerError:
+            raise
+        except (ProtocolError, OSError, ValueError) as error:
+            handle.mark_dead()
+            if self._closed:
+                raise WorkerError(
+                    f"shard {shard} worker failed during shutdown: {error}"
+                ) from error
+            handle = self._restart(shard, handle)
+            try:
+                return self._exchange(handle, header, arrays)
+            except (ProtocolError, OSError, ValueError) as retry_error:
+                handle.mark_dead()
+                raise WorkerError(
+                    f"shard {shard} worker failed twice: {retry_error}"
+                ) from retry_error
+
+    def _exchange(self, handle: WorkerHandle, header: Dict[str, object],
+                  arrays: Sequence[np.ndarray]) -> Tuple[Dict[str, object], List[np.ndarray]]:
+        with handle.lock:
+            if handle.dead:
+                raise OSError("worker connection already closed")
+            write_frame(handle.stream, header, arrays)
+            frame = read_frame(handle.stream)
+        if frame is None:
+            raise OSError("worker closed the connection mid-request")
+        reply, out_arrays = frame
+        if not reply.get("ok"):
+            raise WorkerError(
+                f"shard {handle.shard} worker error: "
+                f"{reply.get('error', 'unspecified')}"
+            )
+        return reply, out_arrays
+
+    def ping(self, shard: int) -> bool:
+        """Round-trip liveness probe of one worker (restarts it if dead)."""
+        try:
+            self.call(shard, {"op": "ping"})
+            return True
+        except WorkerError:
+            return False
+
+    def liveness(self) -> List[Dict[str, object]]:
+        """Per-shard worker status for health endpoints (no round-trips)."""
+        report = []
+        for shard in range(self.n_shards):
+            handle = self._handles[shard]
+            report.append({
+                "shard": shard,
+                "alive": bool(handle is not None and handle.alive()),
+                "pid": None if handle is None else handle.pid,
+                "restarts": self._restarts[shard],
+            })
+        return report
+
+    def close(self) -> None:
+        """Shut every worker down and reap it (idempotent, orphan-free).
+
+        Closing a worker's socket is its shutdown signal; workers that
+        ignore it are terminated, then killed.  After this returns, no
+        worker process of this supervisor is running.
+        """
+        self._closed = True
+        with self._spawn_lock:
+            handles, self._handles = \
+                list(self._handles), [None] * self.n_shards
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for handle in handles:
+            if handle is not None:
+                handle.reap()
+        if (self._monitor is not None
+                and self._monitor is not threading.current_thread()):
+            self._monitor.join(timeout=2.0)
+
+    def __del__(self):  # last-resort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Process-backed sharded engine (runs in the serving process)
+# --------------------------------------------------------------------- #
+class WorkerShardedQueryEngine:
+    """Scatter-gather router over one worker *process* per row-range shard.
+
+    The process-backed counterpart of
+    :class:`~repro.serve.shard.ShardedQueryEngine`: same query API, same
+    byte-identical answers, but each shard's scoring runs in its own
+    process, so shard work truly parallelizes across cores instead of
+    time-slicing one GIL, and a crashed shard restarts without taking the
+    front end down.
+
+    The front end keeps only the *item-side* state: the shared fold-in
+    projector (built from shard 0's replicated ``Sigma``/``V``), which
+    folds retrieval queries in **once** — exactly like the in-process
+    router — and ships the folded features to every worker.  Item-space
+    queries ship contiguous chunks of the raw query batch instead; each
+    worker folds its chunk through its own bitwise-identical projector
+    (row-local, so the chunking cannot change any answer).  Sparse query
+    rows answer locally through the shared projector — their masked
+    per-row least squares does not benefit from shard fan-out.
+
+    Construction spawns the workers (via :class:`ShardWorkerSupervisor`)
+    pinned to the manifest's current generation; :meth:`close` reaps them.
+    """
+
+    def __init__(self, store: Union[ShardedModelStore, str, Path], name: str,
+                 kernel: KernelLike = None,
+                 monitor_interval: float = 0.5):
+        if not isinstance(store, ShardedModelStore):
+            store = ShardedModelStore(store)
+        manifest = store.manifest(name)
+        # Shard 0 provides the replicated item factors for the shared
+        # projector; its U slice is the price of not duplicating the
+        # pseudo-inverse SVDs per query.
+        shard0, manifest = store.load_shard(name, 0, manifest=manifest)
+        self.projector = FoldInProjector(shard0, kernel=kernel)
+        self.item_map = self.projector.item_map
+        self.n_items = self.projector.n_items
+        self.row_ranges = manifest.row_ranges
+        self.generation = manifest.record.generation
+        self.n_users = int(manifest.record.shape[0])
+        self._starts = np.array([start for start, _ in self.row_ranges])
+        self.supervisor = ShardWorkerSupervisor(
+            store.directory, name, manifest, kernel=kernel,
+            monitor_interval=monitor_interval)
+        try:
+            self.supervisor.start()
+        except Exception:
+            self.supervisor.close()
+            raise
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Scatter plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of row-range shards (= worker processes) behind this
+        router."""
+        return self.supervisor.n_shards
+
+    def liveness(self) -> List[Dict[str, object]]:
+        """Per-shard worker status (see
+        :meth:`ShardWorkerSupervisor.liveness`)."""
+        return self.supervisor.liveness()
+
+    def _run(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run call thunks, one front-end thread per worker.
+
+        Unlike the in-process router, fan-out width is *not* capped by this
+        process's CPU count: front-end threads only do socket I/O here —
+        the compute happens in the worker processes.
+        """
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        with self._pool_lock:
+            if self._closed:
+                futures = None
+            else:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.n_shards,
+                        thread_name_prefix="repro-worker-scatter",
+                    )
+                futures = [self._pool.submit(task) for task in tasks]
+        if futures is None:  # closed: keep answering, just serially
+            return [task() for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self, wait: bool = True) -> None:
+        """Reap every worker process and the scatter pool (idempotent).
+
+        Unlike :meth:`ShardedQueryEngine.close`, a closed worker engine
+        cannot keep answering — its compute lives in the reaped processes —
+        so subsequent queries raise :class:`WorkerError`.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        self.supervisor.close()
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _endpoints(self, rows: IntervalMatrix) -> List[np.ndarray]:
+        return [rows.lower, rows.upper]
+
+    def _split_rows(self, rows: IntervalMatrix) -> List[IntervalMatrix]:
+        n_chunks = min(self.n_shards, rows.shape[0])
+        if n_chunks <= 1:
+            return [rows]
+        return [
+            IntervalMatrix(rows.lower[start:stop], rows.upper[start:stop],
+                           check=False)
+            for start, stop in plan_row_ranges(rows.shape[0], n_chunks)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Item-space queries (scatter the batch; item factors are replicated)
+    # ------------------------------------------------------------------ #
+    def reconstruct_rows(self, user_rows: Rows) -> np.ndarray:
+        """Predicted scores (``q x m``); bit-equal to the unsharded
+        :meth:`QueryEngine.reconstruct_rows`."""
+        rows = self.projector._coerce_rows(user_rows)
+        if is_sparse_interval(rows):
+            return self.projector.reconstruct_rows(rows)
+        chunks = self._split_rows(rows)
+        blocks = self._run([
+            (lambda chunk=chunk, shard=shard: self.supervisor.call(
+                shard, {"op": "reconstruct_rows"},
+                self._endpoints(chunk))[1][0])
+            for shard, chunk in enumerate(chunks)
+        ])
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    def top_k_items(self, user_rows: Rows, k: int) -> TopKResult:
+        """Best-``k`` items per query row; bit-equal to the unsharded
+        :meth:`QueryEngine.top_k_items`."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        rows = self.projector._coerce_rows(user_rows)
+        if is_sparse_interval(rows):
+            return top_k(self.projector.reconstruct_rows(rows), k,
+                         largest=True)
+        chunks = self._split_rows(rows)
+        results = self._run([
+            (lambda chunk=chunk, shard=shard: self.supervisor.call(
+                shard, {"op": "top_k_items", "k": k},
+                self._endpoints(chunk))[1])
+            for shard, chunk in enumerate(chunks)
+        ])
+        if len(results) == 1:
+            indices, scores = results[0]
+            return TopKResult(indices, scores)
+        return TopKResult(np.vstack([r[0] for r in results]),
+                          np.vstack([r[1] for r in results]))
+
+    # ------------------------------------------------------------------ #
+    # Reference-space queries (scatter the stored rows; gather by merge)
+    # ------------------------------------------------------------------ #
+    def _features_of(self, query_rows: Rows) -> IntervalMatrix:
+        return self.projector.latent_features(
+            self.projector._coerce_rows(query_rows))
+
+    def neighbor_squared_distances(self, query_rows: Rows) -> np.ndarray:
+        """Squared distances (``q x n``) to every stored row, in global row
+        order; bit-equal to the unsharded matrix."""
+        features = self._features_of(query_rows)
+        blocks = self._run([
+            (lambda shard=shard: self.supervisor.call(
+                shard, {"op": "squared_distances"},
+                self._endpoints(features))[1][0])
+            for shard in range(self.n_shards)
+        ])
+        return blocks[0] if len(blocks) == 1 else np.hstack(blocks)
+
+    def neighbor_distances(self, query_rows: Rows) -> np.ndarray:
+        """Interval distances (``q x n``) to every stored row."""
+        return np.sqrt(self.neighbor_squared_distances(query_rows))
+
+    def nearest_neighbor_candidates(self, query_rows: Rows, k: int) -> TopKResult:
+        """Cross-shard candidate lists for top-``k`` neighbour selection
+        (same contract as
+        :meth:`ShardedQueryEngine.nearest_neighbor_candidates`: global
+        indices, **squared** distances, shard order, not yet merged)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        features = self._features_of(query_rows)
+        results = self._run([
+            (lambda shard=shard: self.supervisor.call(
+                shard, {"op": "candidates", "k": k},
+                self._endpoints(features))[1])
+            for shard in range(self.n_shards)
+        ])
+        if len(results) == 1:
+            indices, scores = results[0]
+            return TopKResult(indices, scores)
+        return TopKResult(np.hstack([r[0] for r in results]),
+                          np.hstack([r[1] for r in results]))
+
+    def nearest_neighbors(self, query_rows: Rows, k: int) -> TopKResult:
+        """``k`` nearest stored rows per query row, merged across the
+        workers' local top-``k`` lists under the total order; bit-equal to
+        the unsharded :meth:`QueryEngine.nearest_neighbors`."""
+        candidates = self.nearest_neighbor_candidates(query_rows, k)
+        merged = top_k_from_candidates(candidates.scores, candidates.indices,
+                                       min(k, self.n_users), largest=False)
+        return TopKResult(merged.indices, np.sqrt(merged.scores))
+
+    # ------------------------------------------------------------------ #
+    # Stored-user queries (route indices to their owning workers)
+    # ------------------------------------------------------------------ #
+    def scores_for_users(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Predicted scores of stored users, rows in query order; bit-equal
+        to the unsharded :meth:`QueryEngine.scores_for_users`."""
+        if indices is None:
+            blocks = self._run([
+                (lambda shard=shard: self.supervisor.call(
+                    shard, {"op": "scores_for_users", "all": True})[1][0])
+                for shard in range(self.n_shards)
+            ])
+            return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+        indices = np.asarray(indices, dtype=int)
+        flat = np.where(indices < 0, indices + self.n_users, indices)
+        if flat.size and (flat.min() < 0 or flat.max() >= self.n_users):
+            raise IndexError(
+                f"user index out of range for {self.n_users} stored rows"
+            )
+        owner = np.searchsorted(self._starts, flat, side="right") - 1
+        tasks = []
+        masks = []
+        for shard, (start, _) in enumerate(self.row_ranges):
+            mask = owner == shard
+            if not mask.any():
+                continue
+            local = flat[mask] - start
+            tasks.append(lambda shard=shard, local=local:
+                         self.supervisor.call(
+                             shard, {"op": "scores_for_users"}, [local])[1][0])
+            masks.append(mask)
+        out = np.empty((flat.size, self.n_items), dtype=float)
+        for mask, block in zip(masks, self._run(tasks)):
+            out[mask] = block
+        return out
+
+    def top_k_for_users(self, indices: Sequence[int], k: int) -> TopKResult:
+        """Best-``k`` items for stored users, from their trained latent
+        rows."""
+        return top_k(self.scores_for_users(indices), k, largest=True)
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -1,0 +1,218 @@
+"""Fuzz and unit tests of the worker wire protocol.
+
+The two properties the serving layer depends on, probed with hypothesis:
+
+* **round-trip** — ``decode_frame(encode_frame(h, a))`` returns the same
+  header and byte-identical arrays, for arbitrary JSON headers and
+  arbitrary dtypes/shapes;
+* **loud failure** — truncated, oversized, bit-flipped or garbage input
+  raises :class:`ProtocolError` (or returns ``None`` for a clean EOF at a
+  frame boundary); it never hangs, never allocates per a corrupt length
+  prefix, and never returns partial data.
+"""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAGIC,
+    MAX_ARRAYS,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+FUZZ_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+headers = st.dictionaries(
+    st.text(max_size=20), json_scalars, max_size=8)
+
+array_dtypes = st.sampled_from(
+    ["float64", "float32", "int64", "int32", "uint8", "bool"])
+
+
+@st.composite
+def arrays(draw):
+    dtype = np.dtype(draw(array_dtypes))
+    shape = draw(st.lists(st.integers(0, 6), min_size=0, max_size=3))
+    size = int(np.prod(shape)) if shape else 1
+    raw = draw(st.binary(min_size=size * dtype.itemsize,
+                         max_size=size * dtype.itemsize))
+    array = np.frombuffer(raw, dtype=np.uint8).copy().view(np.uint8)
+    # Build from raw bytes so float arrays cover NaN/inf/subnormal payloads
+    # too — the wire must round-trip *bits*, not values.
+    return np.frombuffer(array.tobytes()[:size * dtype.itemsize],
+                         dtype=dtype).reshape(shape).copy()
+
+
+class TestRoundTrip:
+    @settings(**FUZZ_SETTINGS)
+    @given(header=headers, payload=st.lists(arrays(), max_size=4))
+    def test_encode_decode_is_identity(self, header, payload):
+        decoded_header, decoded = decode_frame(encode_frame(header, payload))
+        assert decoded_header == header
+        assert len(decoded) == len(payload)
+        for original, roundtripped in zip(payload, decoded):
+            assert original.dtype == roundtripped.dtype
+            assert original.shape == roundtripped.shape
+            assert original.tobytes() == roundtripped.tobytes()
+
+    @settings(**FUZZ_SETTINGS)
+    @given(header=headers, payload=st.lists(arrays(), max_size=3))
+    def test_stream_round_trip_and_clean_eof(self, header, payload):
+        stream = io.BytesIO()
+        write_frame(stream, header, payload)
+        write_frame(stream, {"second": True})
+        stream.seek(0)
+        first = read_frame(stream)
+        assert first is not None and first[0] == header
+        second = read_frame(stream)
+        assert second == ({"second": True}, [])
+        # Clean EOF at a frame boundary is the orderly-shutdown signal.
+        assert read_frame(stream) is None
+
+    def test_interval_endpoints_bit_exact(self):
+        rng = np.random.default_rng(0)
+        lower = rng.standard_normal((7, 5))
+        upper = lower + rng.random((7, 5))
+        _, decoded = decode_frame(encode_frame({"op": "x"}, [lower, upper]))
+        assert decoded[0].tobytes() == lower.tobytes()
+        assert decoded[1].tobytes() == upper.tobytes()
+
+
+class TestLoudFailure:
+    @settings(**FUZZ_SETTINGS)
+    @given(garbage=st.binary(max_size=200))
+    def test_garbage_never_hangs_or_partially_decodes(self, garbage):
+        # Arbitrary bytes: either they happen to be a valid frame (only if
+        # they start with the magic) or they raise ProtocolError.
+        try:
+            decode_frame(garbage)
+        except ProtocolError:
+            return
+        assert garbage[:4] == MAGIC
+
+    @settings(**FUZZ_SETTINGS)
+    @given(header=headers, payload=st.lists(arrays(), max_size=3),
+           cut=st.floats(0.0, 1.0))
+    def test_truncation_anywhere_raises(self, header, payload, cut):
+        frame = encode_frame(header, payload)
+        truncated = frame[: int(cut * (len(frame) - 1))]
+        with pytest.raises(ProtocolError):
+            decode_frame(truncated)
+
+    @settings(**FUZZ_SETTINGS)
+    @given(header=headers, payload=st.lists(arrays(), max_size=3),
+           position=st.floats(0.0, 1.0), flip=st.integers(1, 255))
+    def test_stream_bit_flips_raise_or_decode_never_hang(
+            self, header, payload, position, flip):
+        frame = bytearray(encode_frame(header, payload))
+        index = min(int(position * len(frame)), len(frame) - 1)
+        frame[index] ^= flip
+        stream = io.BytesIO(bytes(frame))
+        try:
+            read_frame(stream)
+        except ProtocolError:
+            pass  # loud failure is the contract; hanging would time out
+
+    def test_mid_frame_eof_is_an_error_not_none(self):
+        frame = encode_frame({"op": "ping"})
+        stream = io.BytesIO(frame[:-1])
+        with pytest.raises(ProtocolError, match="ended"):
+            read_frame(stream)
+
+    def test_declared_oversized_body_rejected_before_allocation(self):
+        # 1 EiB declared body: must raise on the prefix, not try to read it.
+        prelude = MAGIC + struct.pack(">Q", 2 ** 60)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(io.BytesIO(prelude))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(prelude)
+
+    def test_oversized_array_length_inside_body_rejected(self):
+        body = (struct.pack(">I", 2) + b"{}" + struct.pack(">I", 1)
+                + struct.pack(">Q", 2 ** 50))
+        frame = MAGIC + struct.pack(">Q", len(body)) + body
+        with pytest.raises(ProtocolError, match="truncated frame body"):
+            decode_frame(frame)
+
+    def test_trailing_bytes_are_an_error(self):
+        frame = bytearray(encode_frame({"op": "ping"}))
+        frame[4:12] = struct.pack(">Q",
+                                  struct.unpack(">Q", frame[4:12])[0] + 2)
+        with pytest.raises(ProtocolError, match="trailing|truncated"):
+            decode_frame(bytes(frame) + b"xx")
+
+    def test_bad_magic_raises(self):
+        frame = b"XXXX" + encode_frame({})[4:]
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(frame)
+        with pytest.raises(ProtocolError, match="magic"):
+            read_frame(io.BytesIO(frame))
+
+    def test_non_dict_header_rejected_both_directions(self):
+        with pytest.raises(ProtocolError, match="dict"):
+            encode_frame(["not", "a", "dict"])  # type: ignore[arg-type]
+        body = struct.pack(">I", 2) + b"[]" + struct.pack(">I", 0)
+        frame = MAGIC + struct.pack(">Q", len(body)) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(frame)
+
+    def test_object_dtype_arrays_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="not wire-encodable"):
+            encode_frame({}, [np.array([{"a": 1}], dtype=object)])
+
+    def test_pickled_payload_refused_on_decode(self):
+        # A hand-built frame smuggling a pickled (object-dtype) npy payload
+        # must be rejected — allow_pickle stays False on the read side.
+        buffer = io.BytesIO()
+        np.lib.format.write_array(buffer,
+                                  np.array([{"a": 1}], dtype=object),
+                                  allow_pickle=True)
+        payload = buffer.getvalue()
+        body = (struct.pack(">I", 2) + b"{}" + struct.pack(">I", 1)
+                + struct.pack(">Q", len(payload)) + payload)
+        frame = MAGIC + struct.pack(">Q", len(body)) + body
+        with pytest.raises(ProtocolError, match="not a valid npy"):
+            decode_frame(frame)
+
+    def test_header_and_array_count_bounds_enforced(self):
+        with pytest.raises(ProtocolError, match="header"):
+            encode_frame({"k": "x" * (MAX_HEADER_BYTES + 1)})
+        with pytest.raises(ProtocolError, match="arrays"):
+            encode_frame({}, [np.zeros(1)] * (MAX_ARRAYS + 1))
+        body = struct.pack(">I", 2) + b"{}" + struct.pack(">I", MAX_ARRAYS + 1)
+        frame = MAGIC + struct.pack(">Q", len(body)) + body
+        with pytest.raises(ProtocolError, match="arrays"):
+            decode_frame(frame)
+
+    def test_frame_body_budget_enforced_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({}, [np.zeros(1024)], max_bytes=128)
+
+
+class TestModuleConstants:
+    def test_magic_is_four_bytes(self):
+        assert len(MAGIC) == 4
+        assert protocol.MAX_FRAME_BYTES > protocol.MAX_HEADER_BYTES

@@ -313,8 +313,8 @@ class TestShardedModelStore:
     def test_missing_shard_file_hides_and_fails_model(self, tmp_path, fitted):
         _, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("m", decomposition, 3)
-        store._shard_path("m", 1).unlink()
+        record = store.save_sharded("m", decomposition, 3)
+        store._shard_path("m", 1, record.generation).unlink()
         assert not store.exists("m")
         assert store.list() == []
         with pytest.raises(ModelStoreError, match="shard"):
@@ -323,9 +323,10 @@ class TestShardedModelStore:
     def test_swapped_shard_file_fails_fingerprint_check(self, tmp_path, fitted):
         matrix, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("m", decomposition, 3, matrix=matrix)
+        record = store.save_sharded("m", decomposition, 3, matrix=matrix)
         # Swap two shard files behind the manifest's back.
-        a, b = store._shard_path("m", 0), store._shard_path("m", 1)
+        a = store._shard_path("m", 0, record.generation)
+        b = store._shard_path("m", 1, record.generation)
         tmp = tmp_path / "stash.npz"
         a.rename(tmp), b.rename(a), tmp.rename(b)
         with pytest.raises(ModelStoreError, match="fingerprint"):
@@ -343,13 +344,74 @@ class TestShardedModelStore:
         assert files == ["m.json", "m.npz"]
         assert store.record("m").shards is None
 
-    def test_republish_fewer_shards_removes_stale_files(self, tmp_path, fitted):
+    def test_republish_bumps_generation_and_keeps_previous_until_gc(
+            self, tmp_path, fitted):
         _, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("m", decomposition, 4)
-        store.save_sharded("m", decomposition, 2)
+        first = store.save_sharded("m", decomposition, 4)
+        assert first.generation == 1
+        second = store.save_sharded("m", decomposition, 2)
+        assert second.generation == 2
+        # The superseded generation stays on disk through the swap so a
+        # reader holding the old manifest can still open its files...
         files = sorted(p.name for p in store.directory.iterdir())
-        assert files == ["m.json", "m.shard-00.npz", "m.shard-01.npz"]
+        assert files == [
+            "m.json",
+            "m.shard-00-001.npz", "m.shard-00-002.npz",
+            "m.shard-01-001.npz", "m.shard-01-002.npz",
+            "m.shard-02-001.npz", "m.shard-03-001.npz",
+        ]
+        # ...a third publish garbage-collects generation 1...
+        third = store.save_sharded("m", decomposition, 2)
+        assert third.generation == 3
+        files = sorted(p.name for p in store.directory.iterdir())
+        assert files == [
+            "m.json",
+            "m.shard-00-002.npz", "m.shard-00-003.npz",
+            "m.shard-01-002.npz", "m.shard-01-003.npz",
+        ]
+        # ...and explicit GC (after drain) leaves only the current one.
+        assert store.gc_shard_generations("m") == 2
+        files = sorted(p.name for p in store.directory.iterdir())
+        assert files == ["m.json", "m.shard-00-003.npz", "m.shard-01-003.npz"]
+        assert store.gc_shard_generations("m") == 0
+
+    def test_explicit_generation_must_increase(self, tmp_path, fitted):
+        _, decomposition = fitted
+        store = ShardedModelStore(tmp_path / "models")
+        record = store.save_sharded("m", decomposition, 2, generation=7)
+        assert record.generation == 7
+        with pytest.raises(ModelStoreError, match="generation"):
+            store.save_sharded("m", decomposition, 2, generation=7)
+        with pytest.raises(ModelStoreError, match="generation"):
+            store.save_sharded("m", decomposition, 2, generation=3)
+        assert store.save_sharded("m", decomposition, 2).generation == 8
+
+    def test_legacy_unversioned_manifest_still_loads(self, tmp_path, fitted):
+        # Manifests written before generation versioning name unversioned
+        # shard files and carry no 'generation' key.
+        _, decomposition = fitted
+        store = ShardedModelStore(tmp_path / "models")
+        record = store.save_sharded("m", decomposition, 2)
+        payload = json.loads(store._meta_path("m").read_text())
+        del payload["generation"]
+        for index in range(2):
+            store._shard_path("m", index, record.generation).rename(
+                store._shard_path("m", index))
+        store._meta_path("m").write_text(json.dumps(payload))
+        assert store.record("m").generation is None
+        assert store.exists("m")
+        shards, manifest = store.load_shards("m")
+        assert len(shards) == 2 and manifest.record.generation is None
+        # Republishing a legacy model starts the generation clock at 1 and
+        # keeps the legacy files for in-flight readers until the next GC.
+        republished = store.save_sharded("m", decomposition, 2)
+        assert republished.generation == 1
+        names = {p.name for p in store.directory.iterdir()}
+        assert "m.shard-00.npz" in names and "m.shard-00-001.npz" in names
+        store.gc_shard_generations("m")
+        names = {p.name for p in store.directory.iterdir()}
+        assert "m.shard-00.npz" not in names
 
     def test_republish_sharded_removes_single_file(self, tmp_path, fitted):
         matrix, decomposition = fitted
@@ -357,7 +419,7 @@ class TestShardedModelStore:
         store.save("m", decomposition, matrix=matrix)
         store.save_sharded("m", decomposition, 2, matrix=matrix)
         files = sorted(p.name for p in store.directory.iterdir())
-        assert files == ["m.json", "m.shard-00.npz", "m.shard-01.npz"]
+        assert files == ["m.json", "m.shard-00-001.npz", "m.shard-01-001.npz"]
 
     def test_delete_removes_manifest_and_all_shards(self, tmp_path, fitted):
         _, decomposition = fitted
@@ -371,8 +433,8 @@ class TestShardedModelStore:
         # corrupt sidecar must still be removable, not stranded on disk.
         matrix, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("half", decomposition, 3)
-        store._shard_path("half", 1).unlink()
+        half = store.save_sharded("half", decomposition, 3)
+        store._shard_path("half", 1, half.generation).unlink()
         store.delete("half")
         assert not list(store.directory.glob("half*"))
         store.save_sharded("corrupt", decomposition, 2)
@@ -434,20 +496,27 @@ class TestShardedModelStore:
         assert {r.name for r in store.list()} == {"anchor", "backup.shard-01"}
         loaded, _ = store.load("backup.shard-01")
         assert loaded.rank == decomposition.rank
-        # Publishing 'backup' sharded would overwrite the legacy model's
-        # factor archive, so it is refused while that model exists.
-        with pytest.raises(ModelStoreError, match="backup.shard-01"):
-            store.save_sharded("backup", decomposition, 2)
-        store.delete("backup.shard-01")
-        assert not store.exists("backup.shard-01")
+        # Generation-versioned shard archives ('backup.shard-NN-GGG.npz')
+        # never collide with the legacy model's 'backup.shard-01.npz', so
+        # publishing 'backup' sharded now coexists with it — and neither
+        # stale-shard GC nor deleting 'backup' may touch the legacy files.
         record = store.save_sharded("backup", decomposition, 2)
         assert record.shards == 2
+        store.gc_shard_generations("backup")
+        assert store.exists("backup.shard-01")
+        loaded, _ = store.load("backup.shard-01")
+        assert loaded.rank == decomposition.rank
+        store.delete("backup")
+        assert store.exists("backup.shard-01")
+        store.delete("backup.shard-01")
+        assert not store.exists("backup.shard-01")
 
     def test_truncated_shard_file_raises_store_error(self, tmp_path, fitted):
         _, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("m", decomposition, 3)
-        store._shard_path("m", 1).write_bytes(b"not a zip archive")
+        record = store.save_sharded("m", decomposition, 3)
+        store._shard_path("m", 1, record.generation).write_bytes(
+            b"not a zip archive")
         with pytest.raises(ModelStoreError, match="not loadable"):
             store.load_shards("m")
 
@@ -573,8 +642,8 @@ class TestServingAppDamagedModels:
 
         matrix, decomposition = fitted
         store = ShardedModelStore(tmp_path / "models")
-        store.save_sharded("m", decomposition, 3, matrix=matrix)
-        store._shard_path("m", 0).write_bytes(b"garbage")
+        record = store.save_sharded("m", decomposition, 3, matrix=matrix)
+        store._shard_path("m", 0, record.generation).write_bytes(b"garbage")
         app = ServingApp(store)
         with pytest.raises(RequestError) as excinfo:
             app.recommend({"model": "m", "k": 3,
