@@ -56,6 +56,12 @@ SECTIONS = {
         "latency_queries", "worker_row_qps",
         "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
     )),
+    "faults": ("test_bench_faults", (
+        "shards", "model_shape", "restart_recovery_ms",
+        "stall_queries", "stall_seconds", "call_timeout_s",
+        "stall_p50_ms", "stall_p99_ms",
+        "breaker_open_fail_fast_ms",
+    )),
 }
 
 #: Section keys whose absence fails the build (the headline numbers).
@@ -67,6 +73,8 @@ REQUIRED = {
               "latency_p95_ms"),
     "worker": ("worker_batched_qps", "worker_over_threads", "usable_cores",
                "latency_p95_ms"),
+    "faults": ("restart_recovery_ms", "stall_p99_ms",
+               "breaker_open_fail_fast_ms"),
 }
 
 

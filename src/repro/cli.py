@@ -298,6 +298,8 @@ def _cmd_models(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.serve.store import ModelStore
 
+    if args.url is not None:
+        return _models_from_server(args.url)
     records = ModelStore(args.store).list()
     if not records:
         print(f"no models published in {args.store}")
@@ -319,6 +321,54 @@ def _cmd_models(args: argparse.Namespace) -> int:
         ["name", "method", "target", "rank", "shape", "shards", "gen",
          "fingerprint"],
         rows, title=f"Models in {args.store}",
+    ))
+    return 0
+
+
+def _models_from_server(url: str) -> int:
+    """Live serving status (worker liveness, restarts, breaker state) from a
+    running server's ``/healthz``."""
+    import urllib.error
+    import urllib.request
+
+    from repro.experiments.report import format_table
+
+    try:
+        with urllib.request.urlopen(url.rstrip("/") + "/healthz",
+                                    timeout=10.0) as response:
+            health = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise SystemExit(f"could not reach {url}: {error}")
+    print(f"server status: {health.get('status', 'unknown')} "
+          f"({health.get('models', '?')} model(s) in store)")
+    serving = health.get("serving") or {}
+    if not serving:
+        print("no engines loaded yet (the first query loads one)")
+        return 0
+    rows = []
+    for name, entry in sorted(serving.items()):
+        workers = entry.get("workers")
+        if not workers:
+            rows.append([name, entry.get("generation", "-"),
+                         entry.get("backend", "-"), "-", "-", "-", "-", "-"])
+            continue
+        for worker in workers:
+            breaker = worker.get("breaker") or {}
+            last = worker.get("last_failure") or breaker.get("last_failure")
+            rows.append([
+                name,
+                entry.get("generation", "-"),
+                f"shard {worker.get('shard', '?')}",
+                "up" if worker.get("alive") else "DOWN",
+                worker.get("restarts", 0),
+                breaker.get("state", "-"),
+                breaker.get("retry_after", "-"),
+                (last or "-")[:40],
+            ])
+    print(format_table(
+        ["model", "gen", "backend/shard", "alive", "restarts", "breaker",
+         "retry_after", "last_failure"],
+        rows, title=f"Serving status of {url}",
     ))
     return 0
 
@@ -374,8 +424,33 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0")
+    for flag, value in (("--head-timeout", args.head_timeout),
+                        ("--body-timeout", args.body_timeout),
+                        ("--request-timeout", args.request_timeout)):
+        if value is not None and value <= 0:
+            raise SystemExit(f"{flag} must be positive")
+    if args.inject_faults is not None:
+        from repro.serve.faults import FaultPlan, FaultSpecError
+
+        if not args.workers:
+            raise SystemExit("--inject-faults requires --workers (faults "
+                             "arm inside worker processes)")
+        try:  # a typo'd chaos spec must fail at boot, not silently no-op
+            FaultPlan.parse(args.inject_faults)
+        except FaultSpecError as error:
+            raise SystemExit(f"--inject-faults: {error}")
+    # The serving stack logs restarts, breaker transitions and degraded
+    # gathers through the logging module; give it a handler.
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(asctime)s %(name)s: %(message)s")
+    worker_options = {}
+    if args.inject_faults is not None:
+        worker_options["faults"] = args.inject_faults
     if args.workers:
         # Worker mode: asyncio front end + one process per shard of each
         # sharded model.  (The worker count is per model and fixed by its
@@ -387,6 +462,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.store, host=args.host, port=args.port,
             max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
             verbose=args.verbose, kernel=args.interval_kernel, workers=True,
+            head_timeout=args.head_timeout, body_timeout=args.body_timeout,
+            request_timeout=args.request_timeout, degraded=args.degraded,
+            worker_options=worker_options,
         )
         models = async_server.app.store.list()
         print(f"serving {len(models)} model(s) from {args.store} "
@@ -403,6 +481,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.store, host=args.host, port=args.port,
         max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
         verbose=args.verbose, kernel=args.interval_kernel,
+        request_timeout=args.request_timeout, degraded=args.degraded,
     )
     host, port = server.server_address[:2]
     models = server.app.store.list()
@@ -539,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     models = subparsers.add_parser("models", help="list the published models of a store")
     models.add_argument("--store", default=DEFAULT_STORE,
                         help=f"model store directory (default: {DEFAULT_STORE})")
+    models.add_argument("--url", default=None, metavar="URL",
+                        help="query a *running* server's /healthz instead of "
+                             "the store directory: shows per-shard worker "
+                             "liveness, restart counts and circuit-breaker "
+                             "state")
     models.set_defaults(handler=_cmd_models)
 
     shard = subparsers.add_parser(
@@ -579,6 +663,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "process per shard behind an asyncio front end "
                             "(0, the default, keeps the in-process threaded "
                             "server)")
+    serve.add_argument("--head-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds a client may take to deliver the "
+                            "request head (async front end; default: 30)")
+    serve.add_argument("--body-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="seconds a client may take to deliver the "
+                            "request body (async front end; default: 60)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="end-to-end deadline per query; expiry returns "
+                            "a 504 (default: unbounded)")
+    serve.add_argument("--degraded", choices=["fail", "partial"],
+                       default="fail",
+                       help="what an unavailable shard does to a neighbour "
+                            "query: 'fail' returns 503 with Retry-After "
+                            "(default, byte-identical answers only); "
+                            "'partial' answers from the live shards and "
+                            "flags the response degraded")
+    serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="arm a fault-injection spec in every spawned "
+                            "worker (chaos testing; see repro.serve.faults), "
+                            "e.g. 'before_reply=crash(op=top_k_items,times=1)'")
     serve.set_defaults(handler=_cmd_serve)
 
     query = subparsers.add_parser(

@@ -25,7 +25,11 @@ The subsystem has seven layers, each usable on its own (see
   and restarts one worker per shard, and
   :class:`~repro.serve.worker.WorkerShardedQueryEngine` routes queries
   across them with the same byte-identical answers as the in-process
-  router;
+  router; :mod:`repro.serve.resilience` supplies the deadlines, retry
+  backoff and per-shard circuit breakers that keep one stalled or
+  crash-looping worker from taking the service with it, and
+  :mod:`repro.serve.faults` is the deterministic fault-injection harness
+  the chaos test tier proves all of it against;
 * :mod:`repro.serve.http` / :mod:`repro.serve.async_http` — a stdlib-only
   HTTP JSON service (``/models``, ``/recommend``, ``/neighbors``,
   ``/healthz``) exposed by the CLI as ``repro serve`` / ``repro query``;
@@ -54,15 +58,33 @@ from repro.serve.shard import (
     plan_row_ranges,
     usable_cpu_count,
 )
+from repro.serve.faults import FaultInjected, FaultPlan, FaultSpecError
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+)
 from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
 from repro.serve.worker import (
+    DeadlineExceededError,
+    ShardUnavailableError,
     ShardWorkerSupervisor,
     WorkerError,
+    WorkerRequestError,
     WorkerShardedQueryEngine,
+    collect_missing_shards,
 )
 
 __all__ = [
     "AsyncServingServer",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpecError",
     "FoldInProjector",
     "MicroBatcher",
     "ModelRecord",
@@ -70,17 +92,23 @@ __all__ = [
     "ModelStoreError",
     "ProtocolError",
     "QueryEngine",
+    "RetryPolicy",
     "ServingApp",
     "ShardManifest",
     "ShardPlanner",
+    "ShardUnavailableError",
     "ShardWorkerSupervisor",
     "ShardedModelStore",
     "ShardedQueryEngine",
     "TopKResult",
     "WorkerError",
+    "WorkerRequestError",
     "WorkerShardedQueryEngine",
+    "collect_missing_shards",
     "create_async_server",
     "create_server",
+    "current_deadline",
+    "deadline_scope",
     "decode_frame",
     "encode_frame",
     "merge_shards",

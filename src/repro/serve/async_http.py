@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple, Union
@@ -41,15 +42,19 @@ from repro.serve.store import ModelStore
 #: bounded by asyncio's default readline limit of 64 KiB).
 MAX_HEADER_BYTES = 32 * 1024
 
-#: Seconds a client may take to deliver the request head / the body.  Long
-#: enough for slow mobile links, short enough that a trickling client's
-#: buffers are reclaimed; healthy clients are unaffected.
+#: Default seconds a client may take to deliver the request head / the
+#: body (overridable per server: ``head_timeout`` / ``body_timeout``).
+#: Long enough for slow mobile links, short enough that a trickling
+#: client's buffers are reclaimed; healthy clients are unaffected.
 HEAD_TIMEOUT = 30.0
 BODY_TIMEOUT = 60.0
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             408: "Request Timeout", 413: "Payload Too Large",
-            500: "Internal Server Error", 503: "Service Unavailable"}
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+logger = logging.getLogger(__name__)
 
 
 class _BadRequest(Exception):
@@ -78,15 +83,24 @@ class AsyncServingServer:
         concurrent connections.
     verbose:
         Log each request to stderr.
+    head_timeout, body_timeout:
+        Seconds a client may take to deliver the request head / body
+        (defaults :data:`HEAD_TIMEOUT` / :data:`BODY_TIMEOUT`).
     """
 
     def __init__(self, app: Union[ServingApp, ModelStore, str],
                  host: str = "127.0.0.1", port: int = 8080,
-                 executor_threads: int = 16, verbose: bool = False):
+                 executor_threads: int = 16, verbose: bool = False,
+                 head_timeout: float = HEAD_TIMEOUT,
+                 body_timeout: float = BODY_TIMEOUT):
+        if head_timeout <= 0 or body_timeout <= 0:
+            raise ValueError("head/body timeouts must be positive")
         self.app = app if isinstance(app, ServingApp) else ServingApp(app)
         self.host = host
         self.port = port
         self.verbose = verbose
+        self.head_timeout = float(head_timeout)
+        self.body_timeout = float(body_timeout)
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads,
             thread_name_prefix="repro-async-exec")
@@ -141,10 +155,11 @@ class AsyncServingServer:
             await self._respond(writer, {"error": str(error)}, error.status,
                                 close=True)
             return False
-        status, payload = await self._dispatch(method, path, body)
+        status, payload, extra_headers = await self._dispatch(method, path, body)
         if self.verbose:
             print(f"async-serve: {method} {path} -> {status}", flush=True)
-        await self._respond(writer, payload, status, close=close_requested)
+        await self._respond(writer, payload, status, close=close_requested,
+                            extra_headers=extra_headers)
         return not close_requested
 
     async def _read_head(self, reader: asyncio.StreamReader):
@@ -152,7 +167,7 @@ class AsyncServingServer:
         bytes."""
         try:
             head = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), timeout=HEAD_TIMEOUT)
+                reader.readuntil(b"\r\n\r\n"), timeout=self.head_timeout)
         except asyncio.TimeoutError:
             raise _BadRequest("timed out reading the request head", 408)
         except asyncio.IncompleteReadError as error:
@@ -199,7 +214,7 @@ class AsyncServingServer:
             return b""
         try:
             return await asyncio.wait_for(
-                reader.readexactly(length), timeout=BODY_TIMEOUT)
+                reader.readexactly(length), timeout=self.body_timeout)
         except asyncio.TimeoutError:
             raise _BadRequest("timed out reading the request body", 408)
         except asyncio.IncompleteReadError:
@@ -208,47 +223,54 @@ class AsyncServingServer:
     # ------------------------------------------------------------------ #
     # Dispatch (blocking app work runs on the executor)
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _dispatch(self, method: str, path: str, body: bytes
+                        ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         if method == "GET":
             if path == "/healthz":
                 return await self._call(self.app.healthz)
             if path == "/models":
                 return await self._call(self.app.models)
-            return 404, {"error": f"unknown path {path!r}"}
+            return 404, {"error": f"unknown path {path!r}"}, {}
         if method != "POST":
-            return 404, {"error": f"unsupported method {method!r}"}
+            return 404, {"error": f"unsupported method {method!r}"}, {}
         routes = {"/recommend": self.app.recommend,
                   "/neighbors": self.app.neighbors}
         handler = routes.get(path)
         if handler is None:
-            return 404, {"error": f"unknown path {path!r}"}
+            return 404, {"error": f"unknown path {path!r}"}, {}
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return 400, {"error": f"invalid JSON body: {error}"}
+            return 400, {"error": f"invalid JSON body: {error}"}, {}
         if not isinstance(payload, dict):
-            return 400, {"error": "request body must be a JSON object"}
+            return 400, {"error": "request body must be a JSON object"}, {}
         return await self._call(handler, payload)
 
-    async def _call(self, handler, *args) -> Tuple[int, Dict[str, object]]:
+    async def _call(self, handler, *args
+                    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         """Run one blocking app handler on the executor, mapping exceptions
-        to the same statuses the threaded server produces."""
+        to the same statuses (and ``Retry-After`` headers) the threaded
+        server produces."""
         loop = asyncio.get_running_loop()
         try:
             result = await loop.run_in_executor(
                 self._executor, lambda: handler(*args))
-            return 200, result
+            return 200, result, {}
         except RequestError as error:
-            return error.status, {"error": str(error)}
+            headers: Dict[str, str] = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = \
+                    str(max(1, int(-(-error.retry_after // 1))))
+            return error.status, {"error": str(error)}, headers
         except (ValueError, IntervalError) as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, {}
         except Exception as error:  # never drop a connection without a reply
-            return 500, {"error": f"internal error: {error}"}
+            return 500, {"error": f"internal error: {error}"}, {}
 
     async def _respond(self, writer: asyncio.StreamWriter,
                        payload: Dict[str, object], status: int,
-                       close: bool = False) -> None:
+                       close: bool = False,
+                       extra_headers: Optional[Dict[str, str]] = None) -> None:
         try:
             body = json.dumps(payload, allow_nan=False).encode("utf-8")
         except ValueError:
@@ -256,10 +278,13 @@ class AsyncServingServer:
             body = json.dumps(
                 {"error": "response contains non-finite values"}).encode()
         reason = _REASONS.get(status, "Unknown")
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (extra_headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -274,6 +299,8 @@ class AsyncServingServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, backlog=128)
         self.address = self._server.sockets[0].getsockname()[:2]
+        logger.info("async serving front end listening on %s:%d",
+                    *self.address)
         self._started.set()
         try:
             # start_server is already accepting; park until stop() fires.
@@ -368,6 +395,7 @@ class AsyncServingServer:
     def _release(self) -> None:
         self._executor.shutdown(wait=True)
         self.app.close()
+        logger.info("async serving front end stopped")
 
 
 def create_async_server(
@@ -380,16 +408,28 @@ def create_async_server(
     kernel=None,
     workers: bool = False,
     executor_threads: int = 16,
+    head_timeout: float = HEAD_TIMEOUT,
+    body_timeout: float = BODY_TIMEOUT,
+    request_timeout: Optional[float] = None,
+    degraded: str = "fail",
+    worker_options: Optional[Dict[str, object]] = None,
 ) -> AsyncServingServer:
     """Build the asyncio front end over a model store (CLI-facing twin of
     :func:`repro.serve.http.create_server`).
 
     With ``workers=True``, sharded models are served by one worker process
     per shard; single-file models still serve in-process.  Every response
-    stays byte-identical to the threaded server's.
+    stays byte-identical to the threaded server's.  ``head_timeout`` /
+    ``body_timeout`` bound the client's delivery of a request;
+    ``request_timeout``, ``degraded`` and ``worker_options`` set the
+    fault-tolerance policy (see :class:`~repro.serve.http.ServingApp`).
     """
     app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,
-                     kernel=kernel, workers=workers)
+                     kernel=kernel, workers=workers,
+                     request_timeout=request_timeout, degraded=degraded,
+                     worker_options=worker_options)
     return AsyncServingServer(app, host=host, port=port,
                               executor_threads=executor_threads,
-                              verbose=verbose)
+                              verbose=verbose,
+                              head_timeout=head_timeout,
+                              body_timeout=body_timeout)

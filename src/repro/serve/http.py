@@ -29,9 +29,10 @@ standard library, matching the rest of the package (numpy/scipy only).
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 from zipfile import BadZipFile
 
 import numpy as np
@@ -46,9 +47,18 @@ from repro.serve.query import (
     top_k,
     top_k_from_candidates,
 )
+from repro.serve.resilience import deadline_scope
 from repro.serve.shard import ShardedModelStore, ShardedQueryEngine
 from repro.serve.store import ModelStore, ModelStoreError
-from repro.serve.worker import WorkerError, WorkerShardedQueryEngine
+from repro.serve.worker import (
+    DeadlineExceededError,
+    ShardUnavailableError,
+    WorkerError,
+    WorkerShardedQueryEngine,
+    collect_missing_shards,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Any engine type: the single-model engine, the in-process scatter-gather
 #: router, or the worker-process-backed router.  They share the query API
@@ -61,11 +71,18 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class RequestError(ValueError):
-    """Client error: malformed body, unknown model, bad row shape..."""
+    """Client error: malformed body, unknown model, bad row shape...
 
-    def __init__(self, message: str, status: int = 400):
+    ``retry_after`` (seconds, optional) becomes a ``Retry-After`` header —
+    set on the 503s an unavailable shard maps to, so well-behaved clients
+    back off for as long as the circuit breaker will refuse them anyway.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 def rows_from_payload(payload: Dict[str, object]) -> Tuple[IntervalMatrix, bool]:
@@ -119,16 +136,39 @@ class ServingApp:
     sharded models serve through one *worker process* per shard
     (:class:`~repro.serve.worker.WorkerShardedQueryEngine`) instead of the
     in-process thread router — answers stay byte-identical either way.
+
+    ``request_timeout`` (seconds, ``None`` = unbounded) is the end-to-end
+    deadline each query runs under: it bounds worker socket waits, retry
+    backoff and restart attempts alike, and expiry surfaces as a 504.
+    ``degraded`` selects what an unavailable shard does to a neighbour
+    query: ``"fail"`` (default) keeps the all-or-nothing byte-identity
+    contract and returns a 503 with ``Retry-After``; ``"partial"`` answers
+    from the live shards and flags the response with ``"degraded": true``
+    plus the missing shard list.  ``worker_options`` passes resilience
+    tuning (``call_timeout``, ``retry``, ``breaker_threshold``, ...,
+    ``faults``) through to :class:`WorkerShardedQueryEngine`.
     """
 
     def __init__(self, store: Union[ModelStore, str], max_batch: int = 64,
                  batch_delay: float = 0.002, kernel: KernelLike = None,
-                 workers: bool = False):
+                 workers: bool = False,
+                 request_timeout: Optional[float] = None,
+                 degraded: str = "fail",
+                 worker_options: Optional[Dict[str, object]] = None):
+        if degraded not in ("fail", "partial"):
+            raise ValueError(
+                f"degraded policy must be 'fail' or 'partial', got {degraded!r}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {request_timeout}")
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
         self.kernel = get_kernel(kernel)
         self.max_batch = max_batch
         self.batch_delay = batch_delay
         self.workers = bool(workers)
+        self.request_timeout = request_timeout
+        self.degraded = degraded
+        self.worker_options = dict(worker_options or {})
         self._lock = threading.Lock()
         self._engines: Dict[str, Tuple[object, EngineLike, object]] = {}
         self._batchers: Dict[Tuple[str, str], MicroBatcher] = {}
@@ -201,7 +241,8 @@ class ServingApp:
                 if record.shards is not None and self.workers:
                     engine: EngineLike = WorkerShardedQueryEngine(
                         ShardedModelStore(self.store.directory), name,
-                        kernel=self.kernel)
+                        kernel=self.kernel, degraded=self.degraded,
+                        **self.worker_options)
                 elif record.shards is not None:
                     shards, manifest = ShardedModelStore(
                         self.store.directory).load_shards(name)
@@ -256,6 +297,17 @@ class ServingApp:
 
     def _batcher(self, name: str, operation: str) -> MicroBatcher:
         def run_batch(requests):
+            # The whole batch executes on the *leader's* thread, so the
+            # followers' thread-local degradation scopes never see what the
+            # gather dropped — each result therefore carries the batch's
+            # missing-shard set back explicitly, and _run_query folds it
+            # into its own request's scope.
+            with collect_missing_shards() as missing:
+                results = run_batch_inner(requests)
+            dropped: FrozenSet[int] = frozenset(missing)
+            return [(result, dropped) for result in results]
+
+        def run_batch_inner(requests):
             # Resolve the engine per batch, so republished models take effect
             # for batched queries too.
             engine = self.engine(name)
@@ -326,27 +378,44 @@ class ServingApp:
             raise RequestError("'model' (a published model name) is required")
         k = self._parse_k(payload)
         rows, single = rows_from_payload(payload)
-        engine = self.engine(name)
-        if rows.shape[1] != engine.n_items:
-            # Validated before submitting so a malformed request can never
-            # poison the other requests sharing its micro-batch.
-            raise RequestError(
-                f"query rows must have {engine.n_items} columns, got {rows.shape[1]}"
-            )
-        if single and self.max_batch > 1:
-            result = self._batcher(name, operation).submit((rows, k))
-        elif operation == "recommend":
-            result = engine.top_k_items(rows, k)
-        else:
-            result = engine.nearest_neighbors(rows, k)
+        with deadline_scope(self.request_timeout), \
+                collect_missing_shards() as missing:
+            try:
+                engine = self.engine(name)
+                if rows.shape[1] != engine.n_items:
+                    # Validated before submitting so a malformed request can
+                    # never poison the other requests sharing its micro-batch.
+                    raise RequestError(
+                        f"query rows must have {engine.n_items} columns, "
+                        f"got {rows.shape[1]}"
+                    )
+                if single and self.max_batch > 1:
+                    result, dropped = \
+                        self._batcher(name, operation).submit((rows, k))
+                    missing.update(dropped)
+                elif operation == "recommend":
+                    result = engine.top_k_items(rows, k)
+                else:
+                    result = engine.nearest_neighbors(rows, k)
+            except ShardUnavailableError as error:
+                raise RequestError(str(error), status=503,
+                                   retry_after=error.retry_after) from error
+            except DeadlineExceededError as error:
+                raise RequestError(str(error), status=504) from error
         value_key = "scores" if operation == "recommend" else "distances"
         index_key = "items" if operation == "recommend" else "neighbors"
-        return {
+        response: Dict[str, object] = {
             "model": name,
             "k": k,
             index_key: result.indices.tolist(),
             value_key: result.scores.tolist(),
         }
+        if missing:
+            # Explicitly flagged, never silent: a partial answer that looks
+            # complete would be worse than the 503 it replaced.
+            response["degraded"] = True
+            response["missing_shards"] = sorted(missing)
+        return response
 
     def recommend(self, payload: Dict[str, object]) -> Dict[str, object]:
         """Top-k item recommendation for the payload's query rows."""
@@ -366,8 +435,11 @@ class ServingApp:
         ``serving`` reports every model with a loaded engine: the served
         *generation* (so an operator can confirm a reshard took effect),
         the backend kind, per-shard worker liveness for process-backed
-        models, and micro-batching counters.  The overall ``status``
-        degrades to ``"degraded"`` when any served model has a dead worker.
+        models, and micro-batching counters.  Worker entries carry their
+        resilience state too: restart count and timestamps, the last
+        failure reason, and the circuit-breaker snapshot.  The overall
+        ``status`` degrades to ``"degraded"`` when any served model has a
+        dead worker or a breaker that is not closed.
         """
         with self._lock:
             cached = dict(self._engines)
@@ -391,8 +463,11 @@ class ServingApp:
             if liveness is not None:
                 workers = liveness()
                 entry["workers"] = workers
-                if not all(worker["alive"] for worker in workers):
-                    degraded = True
+                for worker in workers:
+                    breaker = worker.get("breaker") or {}
+                    if (not worker["alive"]
+                            or breaker.get("state", "closed") != "closed"):
+                        degraded = True
             serving[name] = entry
         payload: Dict[str, object] = {
             "status": "degraded" if degraded else "ok",
@@ -447,7 +522,8 @@ class ServingHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # quiet by default
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+    def _send_json(self, payload: Dict[str, object], status: int = 200,
+                   retry_after: Optional[float] = None) -> None:
         try:
             # allow_nan=False: bare NaN/Infinity tokens are not valid JSON and
             # break standards-compliant clients.  Inputs are validated finite,
@@ -460,6 +536,9 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Integral seconds, rounded up: Retry-After is delta-seconds.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -516,7 +595,8 @@ class ServingHandler(BaseHTTPRequestHandler):
                 raise RequestError(f"unknown path {self.path!r}", status=404)
             self._send_json(handler(payload))
         except RequestError as error:
-            self._send_json({"error": str(error)}, status=error.status)
+            self._send_json({"error": str(error)}, status=error.status,
+                            retry_after=error.retry_after)
         except (ValueError, IntervalError) as error:
             self._send_json({"error": str(error)}, status=400)
         except Exception as error:  # never drop the connection without a reply
@@ -531,6 +611,10 @@ def create_server(
     batch_delay: float = 0.002,
     verbose: bool = False,
     kernel: KernelLike = None,
+    workers: bool = False,
+    request_timeout: Optional[float] = None,
+    degraded: str = "fail",
+    worker_options: Optional[Dict[str, object]] = None,
 ) -> ServingHTTPServer:
     """Build a ready-to-run threading HTTP server over a model store.
 
@@ -552,6 +636,10 @@ def create_server(
         Log each request to stderr.
     kernel:
         Interval-product kernel every served model's engine is built with.
+    workers:
+        Serve sharded models through one worker process per shard.
+    request_timeout, degraded, worker_options:
+        Fault-tolerance policy; see :class:`ServingApp`.
 
     Call ``serve_forever()`` to run; each connection is handled on its own
     thread, and concurrent single-row queries are micro-batched.
@@ -561,6 +649,9 @@ def create_server(
     """
     server = ServingHTTPServer((host, port), ServingHandler)
     server.app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,
-                            kernel=kernel)  # type: ignore[attr-defined]
+                            kernel=kernel, workers=workers,
+                            request_timeout=request_timeout,
+                            degraded=degraded,
+                            worker_options=worker_options)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server

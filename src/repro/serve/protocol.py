@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,21 @@ class ProtocolError(RuntimeError):
 
 
 Frame = Tuple[Dict[str, object], List[np.ndarray]]
+
+#: Write-side fault-injection hook (worker processes only; armed by
+#: :func:`repro.serve.faults.install_protocol_hook`).  Called with
+#: ``(stream, header)`` before a frame is encoded; returning True means the
+#: hook consumed the write (e.g. it put a corrupt frame on the wire) and
+#: the real frame must not follow.  ``None`` — the production state — costs
+#: one attribute check per frame.
+_write_fault_hook: Optional[Callable[[BinaryIO, Dict[str, object]], bool]] = None
+
+
+def set_write_fault_hook(
+        hook: Optional[Callable[[BinaryIO, Dict[str, object]], bool]]) -> None:
+    """Install (or with ``None`` clear) the write-side fault hook."""
+    global _write_fault_hook
+    _write_fault_hook = hook
 
 
 def encode_frame(header: Dict[str, object],
@@ -193,6 +208,8 @@ def write_frame(stream: BinaryIO, header: Dict[str, object],
                 arrays: Sequence[np.ndarray] = (),
                 max_bytes: int = MAX_FRAME_BYTES) -> None:
     """Encode and write one frame to a binary stream, then flush it."""
+    if _write_fault_hook is not None and _write_fault_hook(stream, header):
+        return
     stream.write(encode_frame(header, arrays, max_bytes=max_bytes))
     stream.flush()
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import os
 import threading
 import time
@@ -59,6 +60,8 @@ from repro.serve.query import (
     top_k_from_candidates,
 )
 from repro.serve.store import ModelRecord, ModelStore, ModelStoreError
+
+logger = logging.getLogger(__name__)
 
 RowRanges = Tuple[Tuple[int, int], ...]
 
@@ -356,6 +359,8 @@ class ShardedModelStore(ModelStore):
         self._remove_stale_shards(name, keep=keep)
         with contextlib.suppress(FileNotFoundError):  # racing republishers
             self._npz_path(name).unlink()
+        logger.info("published %r generation %d (%d shards, %d rows)",
+                    name, generation, n_shards, record.shape[0])
         return record
 
     def gc_shard_generations(self, name: str) -> int:
@@ -376,6 +381,10 @@ class ShardedModelStore(ModelStore):
         ]
         self._remove_stale_shards(
             name, keep={record.generation: record.shards})
+        if stale:
+            logger.info("collected %d stale shard file(s) of %r "
+                        "(serving generation %s)",
+                        len(stale), name, record.generation)
         return len(stale)
 
     def manifest(self, name: str) -> ShardManifest:

@@ -47,6 +47,7 @@ from __future__ import annotations
 import argparse
 import hmac
 import json
+import logging
 import os
 import secrets
 import socket
@@ -55,8 +56,9 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -64,11 +66,25 @@ import repro
 from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import KernelLike, get_kernel
 from repro.interval.sparse import is_sparse_interval
+from repro.serve.faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    install_protocol_hook,
+)
 from repro.serve.foldin import FoldInProjector, Rows
 from repro.serve.protocol import (
     ProtocolError,
     read_frame,
     write_frame,
+)
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    current_deadline,
 )
 from repro.serve.query import (
     QueryEngine,
@@ -102,9 +118,74 @@ MANIFEST_ENV = "REPRO_WORKER_MANIFEST"
 #: authenticate before declaring the spawn failed.
 SPAWN_TIMEOUT = 60.0
 
+#: Default per-exchange socket timeout: the longest one request/response
+#: round-trip with a worker may take before the worker counts as stalled.
+CALL_TIMEOUT = 30.0
+
+logger = logging.getLogger(__name__)
+
 
 class WorkerError(RuntimeError):
     """A shard worker failed: bad frame, dead process, or a remote error."""
+
+
+class WorkerRequestError(WorkerError):
+    """The worker itself reported the request as bad (``ok: false``).
+
+    The worker is healthy and the transport is fine — retrying or
+    restarting would only repeat the same rejection, so the supervisor
+    surfaces this immediately and without touching the worker.
+    """
+
+
+class ShardUnavailableError(WorkerError):
+    """A shard cannot serve right now: retries exhausted or breaker open.
+
+    ``retry_after`` is the supervisor's estimate (seconds) of when an
+    attempt could succeed — the HTTP layer forwards it as a ``Retry-After``
+    header on the 503 it maps this error to.
+    """
+
+    def __init__(self, shard: int, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class DeadlineExceededError(WorkerError):
+    """The request's end-to-end deadline expired before a shard answered."""
+
+
+# --------------------------------------------------------------------- #
+# Degradation reporting (request-thread-local)
+# --------------------------------------------------------------------- #
+_degradation = threading.local()
+
+
+@contextmanager
+def collect_missing_shards() -> Iterator[Set[int]]:
+    """Collect the shard indices a degraded-mode query had to drop.
+
+    The HTTP layer wraps each request in this scope; engines running in
+    ``degraded="partial"`` mode report dropped shards into it (on the
+    request thread, after the gather).  Engines that never degrade —
+    in-process ones, or worker engines in the default fail-fast mode —
+    simply leave the set empty, so callers need no backend-specific
+    branches.
+    """
+    previous = getattr(_degradation, "missing", None)
+    missing: Set[int] = set()
+    _degradation.missing = missing
+    try:
+        yield missing
+    finally:
+        _degradation.missing = previous
+
+
+def _note_missing_shards(shards: Sequence[int]) -> None:
+    missing = getattr(_degradation, "missing", None)
+    if missing is not None:
+        missing.update(shards)
 
 
 def _generation_token(generation: Optional[int]) -> str:
@@ -149,10 +230,22 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     socket, even when the supervisor dies without cleanup.
     """
     args = _build_arg_parser().parse_args(argv)
+    # Workers are spawned headless; without a handler their restart/fault
+    # warnings would vanish.  basicConfig is a no-op when the embedding
+    # environment already configured logging.
+    logging.basicConfig(
+        level=logging.WARNING,
+        format="%(asctime)s %(name)s [pid %(process)d]: %(message)s")
     token = os.environ.get(TOKEN_ENV, "")
     if not token:
-        print("worker: no auth token in the environment", file=sys.stderr)
+        logger.error("worker: no auth token in the environment")
         return 2
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        faults.bind(args.shard)
+        install_protocol_hook(faults)
+        logger.warning("worker shard %d armed fault plan %r",
+                       args.shard, faults.spec)
     expected_generation = _parse_generation_token(args.generation)
     store = ShardedModelStore(args.store)
     pinned_payload = os.environ.get(MANIFEST_ENV)
@@ -162,12 +255,12 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     else:  # hand-run without a supervisor: serve whatever is current
         manifest = store.manifest(args.model)
     if manifest.record.generation != expected_generation:
-        print(
-            f"worker: manifest of {args.model!r} is at generation "
-            f"{manifest.record.generation} (pinned {expected_generation})",
-            file=sys.stderr,
-        )
+        logger.error(
+            "worker: manifest of %r is at generation %s (pinned %s)",
+            args.model, manifest.record.generation, expected_generation)
         return EXIT_STALE_GENERATION
+    if faults is not None:
+        faults.fire("load")
     try:
         shard, manifest = store.load_shard(args.model, args.shard,
                                            manifest=manifest)
@@ -176,13 +269,15 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
         # has passed (or an explicit GC ran) since this worker's supervisor
         # planned.  Exit with the stale status so the supervisor reports
         # the cause instead of a bare load failure.
-        print(f"worker: pinned generation "
-              f"{_generation_token(expected_generation)} of {args.model!r} "
-              f"is no longer loadable: {error}", file=sys.stderr)
+        logger.error("worker: pinned generation %s of %r is no longer "
+                     "loadable: %s",
+                     _generation_token(expected_generation), args.model, error)
         return EXIT_STALE_GENERATION
     engine = QueryEngine(shard, kernel=args.kernel)
     row_start = manifest.row_ranges[args.shard][0]
 
+    if faults is not None:
+        faults.fire("connect")  # a stall here simulates a slow accept
     connection = socket.create_connection(("127.0.0.1", args.connect_port))
     try:
         connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -196,7 +291,7 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
             "n_items": engine.n_items,
             "pid": os.getpid(),
         })
-        _serve_requests(stream, engine, row_start)
+        _serve_requests(stream, engine, row_start, faults=faults)
     except KeyboardInterrupt:
         # Terminal Ctrl-C reaches the whole foreground process group;
         # interactive shutdown is normal, not a crash worth a traceback.
@@ -206,7 +301,8 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _serve_requests(stream, engine: QueryEngine, row_start: int) -> None:
+def _serve_requests(stream, engine: QueryEngine, row_start: int,
+                    faults: Optional[FaultPlan] = None) -> None:
     """Answer request frames until end-of-stream (the shutdown signal)."""
     while True:
         frame = read_frame(stream)
@@ -223,6 +319,15 @@ def _serve_requests(stream, engine: QueryEngine, row_start: int) -> None:
             write_frame(stream, {"ok": False,  # must not kill the shard
                                  "error": f"{type(error).__name__}: {error}"})
             continue
+        if faults is not None:
+            try:
+                # The window between executing a request and acknowledging
+                # it — the one a retry must treat as "unknown outcome".
+                faults.fire("before_reply",
+                            op=op if isinstance(op, str) else None,
+                            stream=stream)
+            except FaultInjected:
+                continue  # garbage went out instead of the reply
         write_frame(stream, reply, out_arrays)
 
 
@@ -298,6 +403,10 @@ class WorkerHandle:
         #: (scatter fans out across workers, never within one).
         self.lock = threading.Lock()
         self.dead = False
+        #: Set by the first restarter that charged this handle's death to
+        #: the shard's circuit breaker, so racing callers observing the
+        #: same corpse cannot inflate the failure window.
+        self.failure_recorded = False
 
     @property
     def pid(self) -> int:
@@ -345,18 +454,42 @@ class ShardWorkerSupervisor:
     Workers connect back over localhost TCP and authenticate with a
     per-supervisor random token, so another local process cannot slip a
     rogue worker into the accept window.  A background monitor respawns
-    workers that exit unexpectedly; :meth:`call` transparently restarts the
-    target worker once before failing a request.
+    workers that exit unexpectedly; :meth:`call` retries a failed request
+    under ``retry`` (bounded exponential backoff with jitter), restarting
+    the worker between attempts, inside the caller's deadline.
+
+    Every observed worker death is charged to that shard's
+    :class:`~repro.serve.resilience.CircuitBreaker`; a crash-looping shard
+    opens its breaker (stopping the respawn storm) and fails requests fast
+    with :class:`ShardUnavailableError` until a half-open probe — a fresh
+    spawn that must also answer a ``ping`` — proves it healthy again.
+
+    ``call_timeout`` bounds every socket exchange, so a *stalled* (not just
+    crashed) worker surfaces as a timeout instead of wedging its shard's
+    request lock; an end-to-end :class:`~repro.serve.resilience.Deadline`
+    (explicit, or ambient via ``deadline_scope``) tightens that bound
+    per request.  ``faults`` is a :mod:`repro.serve.faults` spec string
+    injected into every spawned worker's environment.
     """
 
     def __init__(self, directory: Union[str, Path], name: str,
                  manifest: ShardManifest, kernel: KernelLike = None,
-                 monitor_interval: float = 0.5):
+                 monitor_interval: float = 0.5,
+                 call_timeout: float = CALL_TIMEOUT,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker_threshold: int = 5, breaker_window: float = 30.0,
+                 breaker_cooldown: float = 5.0,
+                 faults: Optional[str] = None):
         self.directory = Path(directory)
         self.name = name
         self.manifest = manifest
         self.kernel_key = get_kernel(kernel).key
         self.monitor_interval = monitor_interval
+        if call_timeout <= 0:
+            raise ValueError(f"call_timeout must be positive, got {call_timeout}")
+        self.call_timeout = float(call_timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self._token = secrets.token_hex(16)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.bind(("127.0.0.1", 0))
@@ -365,9 +498,21 @@ class ShardWorkerSupervisor:
         #: Serializes spawn + connect-back accept: concurrent restarts must
         #: not interleave their accepts and adopt each other's workers.
         self._spawn_lock = threading.Lock()
-        self._handles: List[Optional[WorkerHandle]] = \
-            [None] * manifest.record.shards
-        self._restarts = [0] * manifest.record.shards
+        n_shards = manifest.record.shards
+        self._handles: List[Optional[WorkerHandle]] = [None] * n_shards
+        self._restarts = [0] * n_shards
+        #: Per-shard restart serialization: the `current is not failed`
+        #: re-check must happen under this lock, or two callers observing
+        #: the same dead handle would both spawn a replacement.
+        self._restart_locks = [threading.Lock() for _ in range(n_shards)]
+        self._breakers = [
+            CircuitBreaker(threshold=breaker_threshold,
+                           window=breaker_window, cooldown=breaker_cooldown)
+            for _ in range(n_shards)
+        ]
+        #: Wall-clock timestamps of recent restarts (for /healthz).
+        self._restarted_at: List[List[float]] = [[] for _ in range(n_shards)]
+        self._last_failure: List[Optional[str]] = [None] * n_shards
         self._closed = False
         self._monitor: Optional[threading.Thread] = None
 
@@ -418,6 +563,8 @@ class ShardWorkerSupervisor:
         environment = dict(os.environ)
         environment[TOKEN_ENV] = self._token
         environment[MANIFEST_ENV] = json.dumps(self.manifest.to_payload())
+        if self.faults is not None:  # chaos runs; inherits the env otherwise
+            environment[FAULTS_ENV] = self.faults
         # The worker must import the same `repro` this process runs,
         # whether it came from PYTHONPATH, an install, or a bare checkout.
         package_root = str(Path(repro.__file__).resolve().parent.parent)
@@ -438,6 +585,9 @@ class ShardWorkerSupervisor:
                     process.kill()
                     process.wait()
                 raise
+        logger.info("spawned worker for shard %d of %r (pid %d, generation %s)",
+                    shard, self.name, handle.pid,
+                    _generation_token(self.manifest.record.generation))
         return handle
 
     def _accept(self, shard: int, process: subprocess.Popen) -> WorkerHandle:
@@ -463,9 +613,16 @@ class ShardWorkerSupervisor:
             except socket.timeout:
                 continue
             connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Bound the hello read too: a peer that connects and then goes
+            # silent (slow-accept fault, connect-scan) must not hold the
+            # spawn lock past the spawn deadline.
+            connection.settimeout(max(deadline - time.monotonic(), 0.1))
             stream = connection.makefile("rwb")
             try:
                 frame = read_frame(stream)
+            except socket.timeout:
+                connection.close()
+                continue  # silent peer; the outer loop re-checks the deadline
             except ProtocolError as error:
                 connection.close()
                 raise WorkerError(
@@ -485,11 +642,19 @@ class ShardWorkerSupervisor:
                     f"worker connect-back announced shard "
                     f"{hello.get('shard')!r}, expected {shard}"
                 )
+            connection.settimeout(None)  # _exchange sets per-call timeouts
             return WorkerHandle(shard, process, connection, stream,
                                 self.manifest.record.generation)
 
     def _monitor_loop(self) -> None:
-        """Respawn workers that exited unexpectedly (crash, OOM kill)."""
+        """Respawn workers that exited unexpectedly (crash, OOM kill).
+
+        The monitor is also what walks an *idle* shard through its breaker
+        lifecycle: it keeps observing the corpse, its restart attempts are
+        refused while the breaker is open, and after the cooldown one of
+        its attempts becomes the half-open probe — so a crash-looped shard
+        recovers even when no request ever touches it again.
+        """
         while not self._closed:
             time.sleep(self.monitor_interval)
             for shard in range(self.n_shards):
@@ -498,70 +663,228 @@ class ShardWorkerSupervisor:
                     continue
                 try:
                     self._restart(shard, handle)
+                except ShardUnavailableError:
+                    pass  # breaker open: the cooldown is doing its job
                 except Exception as error:  # keep monitoring; calls will
                     if not self._closed:    # surface the failure loudly
-                        print(f"worker monitor: respawn of shard {shard} "
-                              f"failed: {error}", file=sys.stderr)
+                        logger.error("respawn of shard %d of %r failed: %s",
+                                     shard, self.name, error)
 
-    def _restart(self, shard: int, failed: WorkerHandle) -> WorkerHandle:
-        """Replace one dead worker (no-op if another thread already did)."""
-        current = self._handles[shard]
-        if current is not failed:
-            if current is None:
-                raise WorkerError(f"shard {shard} has no worker")
-            return current
-        failed.reap()
-        if self._closed:
-            raise WorkerError("supervisor is closed")
-        handle = self._spawn(shard)
-        self._handles[shard] = handle
-        self._restarts[shard] += 1
-        return handle
+    def _restart(self, shard: int, failed: WorkerHandle,
+                 reason: str = "worker process died",
+                 deadline: Optional[Deadline] = None) -> WorkerHandle:
+        """Replace one dead worker (no-op if another thread already did).
+
+        Serialized per shard: the ``current is not failed`` re-check runs
+        under the shard's restart lock, so exactly one of any number of
+        racing callers (request threads, the monitor) spawns the
+        replacement; the rest adopt it.  The death is charged to the
+        shard's breaker once, and an open breaker refuses the respawn with
+        :class:`ShardUnavailableError` — after the cooldown, the winning
+        caller runs the half-open probe (spawn + ping) that decides
+        between closing and re-opening.
+        """
+        lock = self._restart_locks[shard]
+        if deadline is None:
+            lock.acquire()
+        else:
+            remaining = deadline.remaining()
+            if remaining <= 0 or not lock.acquire(timeout=remaining):
+                raise DeadlineExceededError(
+                    f"deadline expired waiting to restart shard {shard} "
+                    f"of {self.name!r}")
+        try:
+            current = self._handles[shard]
+            if current is not failed:
+                if current is None:
+                    raise WorkerError(f"shard {shard} has no worker")
+                return current
+            # Short grace: a worker being *replaced* has already failed its
+            # caller.  The full courtesy wait belongs to clean shutdown —
+            # here it would make recovery from a stalled worker take as
+            # long as the stall itself.
+            failed.reap(timeout=0.2)
+            if self._closed:
+                raise WorkerError("supervisor is closed")
+            breaker = self._breakers[shard]
+            if not failed.failure_recorded:
+                failed.failure_recorded = True
+                self._last_failure[shard] = reason
+                breaker.record_failure(reason)
+                if breaker.state != BREAKER_CLOSED:
+                    logger.warning(
+                        "circuit breaker for shard %d of %r opened: %s",
+                        shard, self.name, reason)
+            if not breaker.allow():
+                raise ShardUnavailableError(
+                    shard,
+                    f"shard {shard} of {self.name!r} is crash-looping; "
+                    f"circuit breaker open ({reason})",
+                    retry_after=breaker.retry_after(),
+                )
+            probing = breaker.state == BREAKER_HALF_OPEN
+            try:
+                handle = self._spawn(shard)
+                try:
+                    # Trust no respawn until it answers: a worker that
+                    # connects and then wedges (or dies) would otherwise
+                    # close a half-open breaker it never earned.
+                    self._probe(handle)
+                except Exception:
+                    handle.reap()
+                    raise
+            except Exception as error:
+                breaker.record_failure(f"respawn failed: {error}")
+                if isinstance(error, WorkerError):
+                    raise
+                raise WorkerError(
+                    f"respawn of shard {shard} of {self.name!r} failed: "
+                    f"{error}") from error
+            if probing:
+                logger.warning(
+                    "circuit breaker for shard %d of %r closed after "
+                    "half-open probe", shard, self.name)
+                breaker.record_success()
+            self._handles[shard] = handle
+            self._restarts[shard] += 1
+            timestamps = self._restarted_at[shard]
+            timestamps.append(time.time())
+            del timestamps[:-10]  # keep the last 10 for /healthz
+            logger.info("restarted worker for shard %d of %r "
+                        "(restart #%d: %s)",
+                        shard, self.name, self._restarts[shard], reason)
+            return handle
+        finally:
+            lock.release()
+
+    def _probe(self, handle: WorkerHandle) -> None:
+        """One ping round-trip a fresh spawn must pass before being trusted."""
+        reply, _ = self._exchange(handle, {"op": "ping"}, ())
+        if reply.get("pid") != handle.pid:  # paranoia: wrong process answered
+            raise WorkerError(
+                f"probe of shard {handle.shard} answered from pid "
+                f"{reply.get('pid')!r}, expected {handle.pid}")
 
     def call(self, shard: int, header: Dict[str, object],
-             arrays: Sequence[np.ndarray] = ()) -> Tuple[Dict[str, object], List[np.ndarray]]:
+             arrays: Sequence[np.ndarray] = (),
+             deadline: Optional[Deadline] = None) -> Tuple[Dict[str, object], List[np.ndarray]]:
         """One request/response exchange with a shard worker.
 
-        A transport failure (dead process, bad frame) restarts the worker
-        and retries the request once — covering a worker lost between
-        health checks — before raising :class:`WorkerError`.  An error the
-        worker itself reports (``ok: false``) raises without a restart: the
-        worker is healthy, the request was bad.
+        Transport failures (dead process, stalled socket, bad frame) are
+        retried under the supervisor's :class:`RetryPolicy` — restart the
+        worker, back off with jitter, try again — within the caller's
+        ``deadline`` (explicit argument, else the ambient
+        :func:`~repro.serve.resilience.current_deadline`).  Retries
+        exhausted, or a breaker already open, raise
+        :class:`ShardUnavailableError`; a deadline expiry raises
+        :class:`DeadlineExceededError`.  An error the worker itself
+        reports (``ok: false``) raises :class:`WorkerRequestError` without
+        any restart: the worker is healthy, the request was bad.
         """
-        handle = self._handles[shard]
-        if handle is None:
-            raise WorkerError(f"shard {shard} has no worker")
-        try:
-            return self._exchange(handle, header, arrays)
-        except WorkerError:
-            raise
-        except (ProtocolError, OSError, ValueError) as error:
-            handle.mark_dead()
-            if self._closed:
-                raise WorkerError(
-                    f"shard {shard} worker failed during shutdown: {error}"
-                ) from error
-            handle = self._restart(shard, handle)
+        if deadline is None:
+            deadline = current_deadline()
+        last_error: Optional[BaseException] = None
+        reason = "worker process died"
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                delay = self.retry.delay(attempt - 1)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"deadline expired retrying shard {shard} of "
+                            f"{self.name!r}: {last_error}") from last_error
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
+            handle = self._handles[shard]
+            if handle is None:
+                raise WorkerError(f"shard {shard} has no worker")
+            if handle.dead or not handle.alive():
+                try:
+                    handle = self._restart(shard, handle, reason=reason,
+                                           deadline=deadline)
+                except (ShardUnavailableError, DeadlineExceededError):
+                    raise
+                except WorkerError as error:
+                    # A failed respawn is retryable: the next attempt
+                    # restarts again (and the breaker counts each failure).
+                    if self._closed:
+                        raise
+                    last_error = error
+                    reason = f"respawn failed: {error}"
+                    continue
             try:
-                return self._exchange(handle, header, arrays)
-            except (ProtocolError, OSError, ValueError) as retry_error:
+                return self._exchange(handle, header, arrays,
+                                      deadline=deadline)
+            except (WorkerRequestError, DeadlineExceededError):
+                raise
+            except (ProtocolError, OSError, ValueError) as error:
                 handle.mark_dead()
-                raise WorkerError(
-                    f"shard {shard} worker failed twice: {retry_error}"
-                ) from retry_error
+                last_error = error
+                reason = f"{type(error).__name__}: {error}"
+                if self._closed:
+                    raise WorkerError(
+                        f"shard {shard} worker failed during shutdown: "
+                        f"{error}") from error
+        breaker = self._breakers[shard]
+        raise ShardUnavailableError(
+            shard,
+            f"shard {shard} of {self.name!r} failed "
+            f"{self.retry.attempts} attempts; last error: {last_error}",
+            retry_after=max(breaker.retry_after(), self.retry.delay(0)),
+        ) from last_error
 
     def _exchange(self, handle: WorkerHandle, header: Dict[str, object],
-                  arrays: Sequence[np.ndarray]) -> Tuple[Dict[str, object], List[np.ndarray]]:
-        with handle.lock:
+                  arrays: Sequence[np.ndarray],
+                  deadline: Optional[Deadline] = None) -> Tuple[Dict[str, object], List[np.ndarray]]:
+        """One locked write/read on a worker's socket, bounded in time.
+
+        The socket timeout is ``call_timeout`` tightened by the deadline's
+        remaining budget; waiting for the handle's lock (another request
+        mid-exchange on the same worker) spends the same budget.  A timed
+        out exchange marks the handle dead — after a partial write or read
+        the frame boundary is unknowable, so the connection is unusable.
+        """
+        if deadline is None:
+            acquired = handle.lock.acquire()
+        else:
+            remaining = deadline.remaining()
+            acquired = remaining > 0 and handle.lock.acquire(timeout=remaining)
+            if not acquired:
+                raise DeadlineExceededError(
+                    f"deadline expired waiting for shard {handle.shard}'s "
+                    "request lock")
+        try:
             if handle.dead:
                 raise OSError("worker connection already closed")
-            write_frame(handle.stream, header, arrays)
-            frame = read_frame(handle.stream)
+            timeout = self.call_timeout
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline expired before calling shard {handle.shard}")
+                timeout = min(timeout, remaining)
+            handle.connection.settimeout(timeout)
+            try:
+                write_frame(handle.stream, header, arrays)
+                frame = read_frame(handle.stream)
+            except socket.timeout as error:
+                handle.mark_dead()
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceededError(
+                        f"deadline expired mid-exchange with shard "
+                        f"{handle.shard}") from error
+                raise OSError(
+                    f"shard {handle.shard} worker stalled beyond the "
+                    f"{timeout:.3g}s call timeout") from error
+        finally:
+            handle.lock.release()
         if frame is None:
             raise OSError("worker closed the connection mid-request")
         reply, out_arrays = frame
         if not reply.get("ok"):
-            raise WorkerError(
+            raise WorkerRequestError(
                 f"shard {handle.shard} worker error: "
                 f"{reply.get('error', 'unspecified')}"
             )
@@ -575,8 +898,14 @@ class ShardWorkerSupervisor:
         except WorkerError:
             return False
 
+    def breaker_state(self, shard: int) -> str:
+        """The circuit-breaker state of one shard (closed/open/half-open)."""
+        return self._breakers[shard].state
+
     def liveness(self) -> List[Dict[str, object]]:
-        """Per-shard worker status for health endpoints (no round-trips)."""
+        """Per-shard worker + resilience status for health endpoints (no
+        round-trips): process liveness, restart count and recent restart
+        timestamps, the last failure reason, and the breaker snapshot."""
         report = []
         for shard in range(self.n_shards):
             handle = self._handles[shard]
@@ -585,6 +914,9 @@ class ShardWorkerSupervisor:
                 "alive": bool(handle is not None and handle.alive()),
                 "pid": None if handle is None else handle.pid,
                 "restarts": self._restarts[shard],
+                "restarted_at": list(self._restarted_at[shard]),
+                "last_failure": self._last_failure[shard],
+                "breaker": self._breakers[shard].snapshot(),
             })
         return report
 
@@ -640,13 +972,36 @@ class WorkerShardedQueryEngine:
     rows answer locally through the shared projector — their masked
     per-row least squares does not benefit from shard fan-out.
 
+    **Fault tolerance.**  Every public query method captures the ambient
+    request deadline (:func:`~repro.serve.resilience.current_deadline`) on
+    the request thread and passes it explicitly into each scatter thunk —
+    pool threads do not inherit thread-locals.  Because the item factors
+    are **replicated** across shards, an item-space chunk whose assigned
+    worker is unavailable is *rerouted* to any live shard and the answer
+    stays byte-identical; reference-space gathers own their rows, so under
+    ``degraded="partial"`` an unavailable shard's candidates are dropped
+    and reported via :func:`collect_missing_shards` instead of failing the
+    whole request.  The default ``degraded="fail"`` preserves the
+    all-or-nothing byte-identity contract: any unavailable shard raises
+    :class:`ShardUnavailableError`.
+
     Construction spawns the workers (via :class:`ShardWorkerSupervisor`)
     pinned to the manifest's current generation; :meth:`close` reaps them.
     """
 
     def __init__(self, store: Union[ShardedModelStore, str, Path], name: str,
                  kernel: KernelLike = None,
-                 monitor_interval: float = 0.5):
+                 monitor_interval: float = 0.5,
+                 call_timeout: float = CALL_TIMEOUT,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker_threshold: int = 5, breaker_window: float = 30.0,
+                 breaker_cooldown: float = 5.0,
+                 degraded: str = "fail",
+                 faults: Optional[str] = None):
+        if degraded not in ("fail", "partial"):
+            raise ValueError(
+                f"degraded policy must be 'fail' or 'partial', got {degraded!r}")
+        self.degraded = degraded
         if not isinstance(store, ShardedModelStore):
             store = ShardedModelStore(store)
         manifest = store.manifest(name)
@@ -663,7 +1018,10 @@ class WorkerShardedQueryEngine:
         self._starts = np.array([start for start, _ in self.row_ranges])
         self.supervisor = ShardWorkerSupervisor(
             store.directory, name, manifest, kernel=kernel,
-            monitor_interval=monitor_interval)
+            monitor_interval=monitor_interval, call_timeout=call_timeout,
+            retry=retry, breaker_threshold=breaker_threshold,
+            breaker_window=breaker_window,
+            breaker_cooldown=breaker_cooldown, faults=faults)
         try:
             self.supervisor.start()
         except Exception:
@@ -737,6 +1095,83 @@ class WorkerShardedQueryEngine:
             for start, stop in plan_row_ranges(rows.shape[0], n_chunks)
         ]
 
+    def _call_item_op(self, shard: int, header: Dict[str, object],
+                      arrays: Sequence[np.ndarray],
+                      deadline: Optional[Deadline]) -> List[np.ndarray]:
+        """One item-space chunk call, rerouted around unavailable shards.
+
+        Item factors (``Sigma``/``V``) are replicated bit-for-bit across
+        shards, so *any* live worker computes the exact same bytes for an
+        item-space chunk — rerouting is free of the degradation question
+        entirely.  Only when every shard refuses does the original error
+        surface.
+        """
+        try:
+            return self.supervisor.call(shard, header, arrays,
+                                        deadline=deadline)[1]
+        except ShardUnavailableError as error:
+            for other in range(self.n_shards):
+                if other == shard:
+                    continue
+                if self.supervisor.breaker_state(other) != BREAKER_CLOSED:
+                    continue
+                try:
+                    result = self.supervisor.call(other, header, arrays,
+                                                  deadline=deadline)[1]
+                    logger.warning(
+                        "rerouted item-space %s chunk from unavailable "
+                        "shard %d to shard %d", header.get("op"), shard, other)
+                    return result
+                except ShardUnavailableError:
+                    continue
+            raise error
+
+    def _gather_candidates(self, header: Dict[str, object],
+                           arrays: Sequence[np.ndarray],
+                           deadline: Optional[Deadline]
+                           ) -> Tuple[List[List[np.ndarray]], List[int]]:
+        """Scatter one reference-space request to every shard and gather.
+
+        In the default fail-fast mode any unavailable shard raises.  Under
+        ``degraded="partial"`` unavailable shards are dropped from the
+        gather and returned as the missing list (also reported into the
+        request's :func:`collect_missing_shards` scope — on the request
+        thread, after the gather, because pool threads do not share the
+        caller's thread-locals).  All shards missing still raises: an
+        empty answer is not a degraded answer.
+        """
+        def attempt(shard: int):
+            try:
+                return ("ok", self.supervisor.call(
+                    shard, header, arrays, deadline=deadline)[1])
+            except ShardUnavailableError as error:
+                if self.degraded != "partial":
+                    raise
+                return ("missing", error)
+
+        outcomes = self._run([
+            (lambda shard=shard: attempt(shard))
+            for shard in range(self.n_shards)
+        ])
+        results: List[List[np.ndarray]] = []
+        missing: List[int] = []
+        first_error: Optional[ShardUnavailableError] = None
+        for shard, (status, value) in enumerate(outcomes):
+            if status == "ok":
+                results.append(value)
+            else:
+                missing.append(shard)
+                if first_error is None:
+                    first_error = value
+        if missing:
+            if not results:
+                assert first_error is not None
+                raise first_error
+            logger.warning("degraded %s gather: dropped shards %s",
+                           header.get("op"), missing)
+            _note_missing_shards(missing)
+        return results, missing
+
     # ------------------------------------------------------------------ #
     # Item-space queries (scatter the batch; item factors are replicated)
     # ------------------------------------------------------------------ #
@@ -746,11 +1181,12 @@ class WorkerShardedQueryEngine:
         rows = self.projector._coerce_rows(user_rows)
         if is_sparse_interval(rows):
             return self.projector.reconstruct_rows(rows)
+        deadline = current_deadline()
         chunks = self._split_rows(rows)
         blocks = self._run([
-            (lambda chunk=chunk, shard=shard: self.supervisor.call(
+            (lambda chunk=chunk, shard=shard: self._call_item_op(
                 shard, {"op": "reconstruct_rows"},
-                self._endpoints(chunk))[1][0])
+                self._endpoints(chunk), deadline)[0])
             for shard, chunk in enumerate(chunks)
         ])
         return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
@@ -764,11 +1200,12 @@ class WorkerShardedQueryEngine:
         if is_sparse_interval(rows):
             return top_k(self.projector.reconstruct_rows(rows), k,
                          largest=True)
+        deadline = current_deadline()
         chunks = self._split_rows(rows)
         results = self._run([
-            (lambda chunk=chunk, shard=shard: self.supervisor.call(
+            (lambda chunk=chunk, shard=shard: self._call_item_op(
                 shard, {"op": "top_k_items", "k": k},
-                self._endpoints(chunk))[1])
+                self._endpoints(chunk), deadline))
             for shard, chunk in enumerate(chunks)
         ])
         if len(results) == 1:
@@ -788,10 +1225,11 @@ class WorkerShardedQueryEngine:
         """Squared distances (``q x n``) to every stored row, in global row
         order; bit-equal to the unsharded matrix."""
         features = self._features_of(query_rows)
+        deadline = current_deadline()
         blocks = self._run([
             (lambda shard=shard: self.supervisor.call(
                 shard, {"op": "squared_distances"},
-                self._endpoints(features))[1][0])
+                self._endpoints(features), deadline=deadline)[1][0])
             for shard in range(self.n_shards)
         ])
         return blocks[0] if len(blocks) == 1 else np.hstack(blocks)
@@ -804,16 +1242,18 @@ class WorkerShardedQueryEngine:
         """Cross-shard candidate lists for top-``k`` neighbour selection
         (same contract as
         :meth:`ShardedQueryEngine.nearest_neighbor_candidates`: global
-        indices, **squared** distances, shard order, not yet merged)."""
+        indices, **squared** distances, shard order, not yet merged).
+
+        The one query that can *degrade*: under ``degraded="partial"``,
+        shards whose workers are unavailable are dropped from the gather
+        (and reported via :func:`collect_missing_shards`) — the merged
+        neighbours are then exact over the remaining shards' rows."""
         if k < 1:
             raise ValueError("k must be >= 1")
         features = self._features_of(query_rows)
-        results = self._run([
-            (lambda shard=shard: self.supervisor.call(
-                shard, {"op": "candidates", "k": k},
-                self._endpoints(features))[1])
-            for shard in range(self.n_shards)
-        ])
+        deadline = current_deadline()
+        results, _ = self._gather_candidates(
+            {"op": "candidates", "k": k}, self._endpoints(features), deadline)
         if len(results) == 1:
             indices, scores = results[0]
             return TopKResult(indices, scores)
@@ -835,10 +1275,12 @@ class WorkerShardedQueryEngine:
     def scores_for_users(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """Predicted scores of stored users, rows in query order; bit-equal
         to the unsharded :meth:`QueryEngine.scores_for_users`."""
+        deadline = current_deadline()
         if indices is None:
             blocks = self._run([
                 (lambda shard=shard: self.supervisor.call(
-                    shard, {"op": "scores_for_users", "all": True})[1][0])
+                    shard, {"op": "scores_for_users", "all": True},
+                    deadline=deadline)[1][0])
                 for shard in range(self.n_shards)
             ])
             return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
@@ -858,7 +1300,8 @@ class WorkerShardedQueryEngine:
             local = flat[mask] - start
             tasks.append(lambda shard=shard, local=local:
                          self.supervisor.call(
-                             shard, {"op": "scores_for_users"}, [local])[1][0])
+                             shard, {"op": "scores_for_users"}, [local],
+                             deadline=deadline)[1][0])
             masks.append(mask)
         out = np.empty((flat.size, self.n_items), dtype=float)
         for mask, block in zip(masks, self._run(tasks)):

@@ -308,7 +308,10 @@ class TestServingAppLifecycle:
         ks = [2, 3, 4]
         batcher = serving._batcher("tied", "recommend")
         results = batcher._run_batch(list(zip(rows, ks)))
-        for (row, k), result in zip(zip(rows, ks), results):
+        # Each batched result carries the batch's missing-shard set (empty
+        # for a healthy in-process engine) alongside the top-k answer.
+        for (row, k), (result, dropped) in zip(zip(rows, ks), results):
+            assert dropped == frozenset()
             direct = engine.top_k_items(row, k)
             assert result.indices.tolist() == direct.indices.tolist()
             assert result.scores.tolist() == direct.scores.tolist()

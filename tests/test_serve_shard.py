@@ -589,9 +589,10 @@ class TestServingAppShardedBatching:
         batcher = app._batcher("m", "neighbors")
         for slot, k in [(0, 1), (1, 4), (2, 9), (3, 1_000)]:
             row = matrix.row(slot)
-            batched = batcher.submit((IntervalMatrix(
+            batched, dropped = batcher.submit((IntervalMatrix(
                 row.lower.reshape(1, -1), row.upper.reshape(1, -1),
                 check=False), k))
+            assert dropped == frozenset()  # healthy engines never degrade
             direct = engine.nearest_neighbors(row, k)
             _assert_same_result(direct, batched)
 

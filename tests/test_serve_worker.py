@@ -189,6 +189,66 @@ class TestSupervision:
         finally:
             engine.close()
 
+    def test_concurrent_restart_race_spawns_exactly_one_worker(
+            self, published):
+        # Two callers and the background monitor all notice the same corpse
+        # at once; the per-shard restart lock must collapse the race to
+        # exactly one spawn per death — a double spawn would leak a worker
+        # process outside the supervisor's bookkeeping.
+        import threading
+
+        store, _, _ = published
+        engine = WorkerShardedQueryEngine(store, "m", monitor_interval=0.05,
+                                          breaker_threshold=100)
+        supervisor = engine.supervisor
+        spawned = []
+        real_spawn = supervisor._spawn
+
+        def counting_spawn(shard):
+            handle = real_spawn(shard)
+            spawned.append(handle.pid)
+            return handle
+
+        supervisor._spawn = counting_spawn
+        try:
+            for round_index in range(6):
+                victim = supervisor._handles[1]
+                os.kill(victim.pid, signal.SIGKILL)
+                # Wait for the kernel to finish the kill, so no caller can
+                # race a still-live victim into a clean (spawn-free) reply.
+                deadline = time.monotonic() + 5.0
+                while victim.process.poll() is None \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                assert victim.process.poll() is not None
+
+                barrier = threading.Barrier(2)
+                errors = []
+
+                def racer():
+                    barrier.wait()
+                    try:
+                        reply, _ = supervisor.call(1, {"op": "ping"})
+                        assert reply["ok"]
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(repr(error))
+
+                threads = [threading.Thread(target=racer) for _ in range(2)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert errors == []
+                # Let the monitor take a few extra looks at the new worker:
+                # it must adopt, not re-spawn.
+                time.sleep(0.15)
+                assert len(spawned) == round_index + 1, \
+                    f"round {round_index}: spawns {spawned}"
+            assert supervisor.liveness()[1]["restarts"] == 6
+        finally:
+            engine.close()
+        _assert_all_dead(spawned)
+
     def test_close_leaves_no_orphan_processes(self, published):
         store, matrix, _ = published
         engine = WorkerShardedQueryEngine(store, "m")
