@@ -62,6 +62,13 @@ SECTIONS = {
         "stall_p50_ms", "stall_p99_ms",
         "breaker_open_fail_fast_ms",
     )),
+    "precision": ("test_bench_precision", (
+        "shape", "rows_measured",
+        "gram_f64_ms", "gram_f32_ms", "gram_mixed_ms",
+        "f32_speedup", "f32_storage_ratio",
+        "sparse_f64_gram_ms", "sparse_f32_gram_ms",
+        "sparse_f32_speedup", "sparse_f32_storage_ratio",
+    )),
 }
 
 #: Section keys whose absence fails the build (the headline numbers).
@@ -75,6 +82,7 @@ REQUIRED = {
                "latency_p95_ms"),
     "faults": ("restart_recovery_ms", "stall_p99_ms",
                "breaker_open_fail_fast_ms"),
+    "precision": ("gram_f32_ms", "f32_speedup", "f32_storage_ratio"),
 }
 
 

@@ -39,6 +39,7 @@ from repro.core.accuracy import harmonic_mean_accuracy
 from repro.experiments.engine import ExperimentEngine
 from repro.interval.array import IntervalMatrix
 from repro.interval.kernels import DEFAULT_KERNEL, available_kernels
+from repro.precision import available_precisions
 from repro import io as repro_io
 
 #: Default model-store directory for ``decompose --save-model`` / ``models`` /
@@ -124,6 +125,14 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                 + ", ".join(i.key for i in registry.infos() if i.kernel_aware)
             )
         fit_options["kernel"] = args.interval_kernel
+    if args.dtype is not None:
+        if not info.dtype_aware:
+            raise SystemExit(
+                f"method {info.key!r} does not support precision policies; "
+                "--dtype applies to "
+                + ", ".join(i.key for i in registry.infos() if i.dtype_aware)
+            )
+        fit_options["dtype"] = args.dtype
     try:
         decomposition = info.fit(matrix, rank, target=target, seed=args.seed,
                                  **fit_options)
@@ -208,8 +217,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    import numpy as np
+
     from repro.datasets.anonymized import make_anonymized_matrix
     from repro.datasets.synthetic import SyntheticConfig, make_uniform_interval_matrix
+
+    def _to_dtype(matrix):
+        # Outward rounding on a narrowing cast keeps every generated cell a
+        # true enclosure of the float64 value it was sampled as.
+        if args.dtype is None or matrix.dtype == np.dtype(args.dtype):
+            return matrix
+        return matrix.astype(np.dtype(args.dtype), outward=True)
 
     if args.kind == "ratings":
         from repro.datasets.ratings import make_sparse_rating_matrix
@@ -226,6 +244,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             )
         except ValueError as error:
             raise SystemExit(str(error))
+        matrix = _to_dtype(matrix)
         repro_io.save_interval_npz(matrix, args.output)
         print(f"sparse ratings interval matrix {matrix.shape} "
               f"({matrix.nnz} cells, density {matrix.density:.4g}) "
@@ -244,6 +263,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     else:
         matrix = make_anonymized_matrix(shape=(rows, cols),
                                         profile=args.profile, rng=args.seed)
+    matrix = _to_dtype(matrix)
     if args.output.endswith(".npz"):
         repro_io.save_interval_npz(matrix, args.output)
     else:
@@ -264,12 +284,14 @@ def _cmd_list_methods(args: argparse.Namespace) -> int:
             info.cost,
             "yes" if info.stochastic else "no",
             "yes" if info.kernel_aware else "no",
+            "yes" if info.dtype_aware else "no",
             info.summary,
         ]
         for info in registry.infos()
     ]
     print(format_table(
-        ["key", "name", "targets", "default", "cost", "stochastic", "kernels", "summary"],
+        ["key", "name", "targets", "default", "cost", "stochastic", "kernels",
+         "dtypes", "summary"],
         rows, title="Registered factorization methods",
     ))
     print()
@@ -464,7 +486,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verbose=args.verbose, kernel=args.interval_kernel, workers=True,
             head_timeout=args.head_timeout, body_timeout=args.body_timeout,
             request_timeout=args.request_timeout, degraded=args.degraded,
-            worker_options=worker_options,
+            worker_options=worker_options, dtype=args.dtype,
         )
         models = async_server.app.store.list()
         print(f"serving {len(models)} model(s) from {args.store} "
@@ -482,6 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch, batch_delay=args.batch_delay / 1000.0,
         verbose=args.verbose, kernel=args.interval_kernel,
         request_timeout=args.request_timeout, degraded=args.degraded,
+        dtype=args.dtype,
     )
     host, port = server.server_address[:2]
     models = server.app.store.list()
@@ -551,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--interval-kernel", default=None, choices=available_kernels(),
                            help="interval-product kernel for kernel-aware methods "
                                 f"(default: {DEFAULT_KERNEL}, the paper's construction)")
+    decompose.add_argument("--dtype", default=None, choices=available_precisions(),
+                           help="precision policy for dtype-aware methods: "
+                                "float64 (default), float32 (storage and "
+                                "accumulation), or mixed (float32 storage, "
+                                "float64 accumulation)")
     decompose.add_argument("--sparse", action="store_true",
                            help="run in sparse representation: dense input is "
                                 "converted (cells with both endpoints 0 become "
@@ -608,6 +636,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--interval-density", type=float, default=1.0)
     generate.add_argument("--interval-intensity", type=float, default=1.0)
     generate.add_argument("--profile", choices=["high", "medium", "low"], default="medium")
+    generate.add_argument("--dtype", default=None, choices=["float64", "float32"],
+                          help="endpoint storage dtype of the written matrix "
+                               "(float32 halves the file; endpoints are "
+                               "rounded outward so every cell stays a true "
+                               "enclosure)")
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(handler=_cmd_generate)
 
@@ -682,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default, byte-identical answers only); "
                             "'partial' answers from the live shards and "
                             "flags the response degraded")
+    serve.add_argument("--dtype", default=None, choices=["float64", "float32"],
+                       help="pin the server to one factor precision: models "
+                            "whose sidecar records a different dtype are "
+                            "refused with a 409 instead of served (default: "
+                            "serve every model at its recorded precision)")
     serve.add_argument("--inject-faults", default=None, metavar="SPEC",
                        help="arm a fault-injection spec in every spawned "
                             "worker (chaos testing; see repro.serve.faults), "

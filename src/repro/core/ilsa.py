@@ -97,19 +97,24 @@ class AlignmentResult:
         Column ``j`` of the output is column ``mapping[j]`` of the input,
         multiplied by ``signs[j]`` when ``flip_signs`` is requested.
         """
-        matrix = np.asarray(matrix, dtype=float)
+        matrix = np.asarray(matrix)
+        if matrix.dtype != np.float32:
+            matrix = np.asarray(matrix, dtype=float)
         if matrix.shape[1] != self.rank:
             raise AlignmentError(
                 f"matrix has {matrix.shape[1]} columns but alignment rank is {self.rank}"
             )
         permuted = matrix[:, self.mapping]
         if flip_signs:
-            permuted = permuted * self.signs[np.newaxis, :]
+            signs = self.signs.astype(permuted.dtype, copy=False)
+            permuted = permuted * signs[np.newaxis, :]
         return permuted
 
     def apply_to_diagonal(self, diagonal: np.ndarray) -> np.ndarray:
         """Permute the entries of a min-side diagonal (singular values)."""
-        diagonal = np.asarray(diagonal, dtype=float)
+        diagonal = np.asarray(diagonal)
+        if diagonal.dtype != np.float32:
+            diagonal = np.asarray(diagonal, dtype=float)
         if diagonal.ndim == 2:
             diagonal = np.diag(diagonal)
         if diagonal.shape[0] != self.rank:

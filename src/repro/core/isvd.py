@@ -43,6 +43,7 @@ from repro.interval.linalg import (
     safe_inverse,
 )
 from repro.interval.sparse import as_interval_operand, is_sparse_interval
+from repro.precision import PrecisionLike, PrecisionPolicy, resolve_precision
 
 
 class ISVDError(ValueError):
@@ -71,23 +72,30 @@ class ISVDMethod(str, Enum):
         return self.value.upper()
 
 
-def truncated_svd(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Rank-``r`` SVD returning ``(U, singular_values, V)`` with ``V`` of shape ``m x r``."""
-    matrix = np.asarray(matrix, dtype=float)
+def truncated_svd(matrix: np.ndarray, rank: int,
+                  dtype=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``r`` SVD returning ``(U, singular_values, V)`` with ``V`` of shape ``m x r``.
+
+    ``dtype`` sets the LAPACK compute dtype; ``None`` keeps the historical
+    float64 path (byte-identical to the pre-precision-policy behavior).
+    """
+    matrix = np.asarray(matrix, dtype=float if dtype is None else dtype)
     u, s, vt = np.linalg.svd(matrix, full_matrices=False)
     rank = min(rank, s.shape[0])
     return u[:, :rank], s[:rank], vt[:rank, :].T
 
 
-def truncated_eigh(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+def truncated_eigh(matrix: np.ndarray, rank: int,
+                   dtype=None) -> Tuple[np.ndarray, np.ndarray]:
     """Top-``r`` eigen-decomposition of a symmetric matrix.
 
     Returns ``(V, sqrt_eigenvalues)`` where negative eigenvalues (which can
     appear for the endpoint matrices of an interval product) are clipped to
     zero before the square root, as the singular values of the interval SVD
-    must be non-negative.
+    must be non-negative.  ``dtype`` sets the LAPACK compute dtype; ``None``
+    keeps the historical float64 path.
     """
-    matrix = np.asarray(matrix, dtype=float)
+    matrix = np.asarray(matrix, dtype=float if dtype is None else dtype)
     matrix = 0.5 * (matrix + matrix.T)  # guard against asymmetry from round-off
     eigenvalues, eigenvectors = np.linalg.eigh(matrix)
     order = np.argsort(eigenvalues)[::-1]
@@ -105,10 +113,38 @@ def _validate_inputs(matrix: IntervalMatrix, rank: int) -> None:
         raise ISVDError(f"rank must be in [1, min(n, m)={min(n, m)}], got {rank}")
 
 
+def _factors_to_storage(precision: Optional[PrecisionPolicy], *arrays):
+    """Cast scalar factor arrays back to the policy's storage dtype.
+
+    Under the ``mixed`` policy the LAPACK steps run in the (float64)
+    accumulation dtype; the factors are stored in float32.  Without a policy
+    (or when storage equals the compute dtype) this is a no-op.
+    """
+    if precision is None or precision.accum_dtype == precision.storage_dtype:
+        return arrays if len(arrays) != 1 else arrays[0]
+    cast = tuple(a.astype(precision.storage_dtype, copy=False) for a in arrays)
+    return cast if len(cast) != 1 else cast[0]
+
+
+def _match_storage(array: np.ndarray, matrix) -> np.ndarray:
+    """Cast a scalar recovery matrix to the interval matrix's endpoint dtype.
+
+    The small inverse products are computed in float64 for accuracy; casting
+    them down *before* the big ``n x r`` interval product keeps that product
+    (and its result) in the storage dtype.  Float64 inputs pass through
+    untouched.
+    """
+    dtype = getattr(matrix, "dtype", None)
+    if dtype is None or array.dtype == dtype:
+        return array
+    return array.astype(dtype)
+
+
 # --------------------------------------------------------------------------- #
 # ISVD0 — average and decompose
 # --------------------------------------------------------------------------- #
-def isvd0(matrix: IntervalMatrix, rank: int) -> IntervalDecomposition:
+def isvd0(matrix: IntervalMatrix, rank: int,
+          precision: Optional[PrecisionPolicy] = None) -> IntervalDecomposition:
     """Naive baseline: SVD of the midpoint matrix (Section 4.1, Algorithm 7).
 
     The result is always a target-``c`` (all scalar) decomposition.
@@ -122,7 +158,9 @@ def isvd0(matrix: IntervalMatrix, rank: int) -> IntervalDecomposition:
     timings["preprocessing"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    u, s, v = truncated_svd(averaged, rank)
+    u, s, v = truncated_svd(
+        averaged, rank, dtype=None if precision is None else precision.accum_dtype)
+    u, s, v = _factors_to_storage(precision, u, s, v)
     timings["decomposition"] = time.perf_counter() - start
     timings["alignment"] = 0.0
     timings["recomposition"] = 0.0
@@ -141,15 +179,19 @@ def isvd1(
     rank: int,
     target: Union[str, DecompositionTarget] = DecompositionTarget.B,
     align_method: str = "hungarian",
+    precision: Optional[PrecisionPolicy] = None,
 ) -> IntervalDecomposition:
     """Decompose the min and max matrices independently, then align (Alg. 8)."""
     matrix = IntervalMatrix.coerce(matrix)
     _validate_inputs(matrix, rank)
     timings: Dict[str, float] = {"preprocessing": 0.0}
 
+    compute = None if precision is None else precision.accum_dtype
     start = time.perf_counter()
-    u_lo, s_lo, v_lo = truncated_svd(matrix.lower, rank)
-    u_hi, s_hi, v_hi = truncated_svd(matrix.upper, rank)
+    u_lo, s_lo, v_lo = _factors_to_storage(
+        precision, *truncated_svd(matrix.lower, rank, dtype=compute))
+    u_hi, s_hi, v_hi = _factors_to_storage(
+        precision, *truncated_svd(matrix.upper, rank, dtype=compute))
     timings["decomposition"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -173,6 +215,7 @@ def isvd1(
 def _gram_eigendecompositions(
     matrix: IntervalMatrix, rank: int, kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    precision: Optional[PrecisionPolicy] = None,
 ) -> Tuple[IntervalMatrix, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Eigen-decompose the interval Gram matrix ``A = M^T M`` (Section 4.3.1).
 
@@ -181,11 +224,22 @@ def _gram_eigendecompositions(
     ``kernel`` selects the interval-product kernel for the Gram step; the
     product runs through :func:`~repro.interval.linalg.interval_gram`, so a
     sparse ``matrix`` never densifies and ``gram_block_rows`` bounds the dense
-    path's temporaries by accumulating over row chunks.
+    path's temporaries by accumulating over row chunks.  A low-precision
+    ``precision`` policy runs the gram and eigen steps in its accumulation
+    dtype and stores the factors in its storage dtype.
     """
-    gram = interval_gram(matrix, kernel=kernel, block_rows=gram_block_rows)
-    v_lo, s_lo = truncated_eigh(gram.lower, rank)
-    v_hi, s_hi = truncated_eigh(gram.upper, rank)
+    accum = None
+    compute = None
+    if precision is not None:
+        compute = precision.accum_dtype
+        if precision.accum_dtype != precision.storage_dtype:
+            accum = precision.accum_dtype
+    gram = interval_gram(matrix, kernel=kernel, block_rows=gram_block_rows,
+                         accum_dtype=accum)
+    v_lo, s_lo = _factors_to_storage(
+        precision, *truncated_eigh(gram.lower, rank, dtype=compute))
+    v_hi, s_hi = _factors_to_storage(
+        precision, *truncated_eigh(gram.upper, rank, dtype=compute))
     return gram, v_lo, s_lo, v_hi, s_hi
 
 
@@ -195,7 +249,9 @@ def _recover_u_from_v(matrix: np.ndarray, v: np.ndarray, s: np.ndarray) -> np.nd
     ``matrix`` may be a scipy sparse endpoint matrix: ``sparse @ dense``
     evaluates in sparse BLAS and yields the (dense, ``n x r``) result directly.
     """
-    s = np.asarray(s, dtype=float)
+    s = np.asarray(s)
+    if s.dtype != np.float32:
+        s = np.asarray(s, dtype=float)
     s_inv = np.where(s > 0.0, 1.0 / np.where(s > 0.0, s, 1.0), 0.0)
     return np.asarray(matrix @ np.linalg.pinv(v.T)) @ np.diag(s_inv)
 
@@ -210,6 +266,7 @@ def isvd2(
     align_method: str = "hungarian",
     kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    precision: Optional[PrecisionPolicy] = None,
 ) -> IntervalDecomposition:
     """Eigen-decompose the interval Gram matrix, solve for U, then align (Alg. 9)."""
     matrix = as_interval_operand(matrix)
@@ -218,7 +275,8 @@ def isvd2(
 
     start = time.perf_counter()
     _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(
-        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows)
+        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows,
+        precision=precision)
     timings["preprocessing"] = 0.0
     timings["decomposition"] = time.perf_counter() - start
 
@@ -248,13 +306,15 @@ def isvd2(
 def _aligned_gram_factors(
     matrix: IntervalMatrix, rank: int, align_method: str, kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    precision: Optional[PrecisionPolicy] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, AlignmentResult, Dict[str, float]]:
     """Shared first phase of ISVD3/ISVD4: eigen-decompose, then align V and Sigma."""
     timings: Dict[str, float] = {"preprocessing": 0.0}
 
     start = time.perf_counter()
     _, v_lo, s_lo, v_hi, s_hi = _gram_eigendecompositions(
-        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows)
+        matrix, rank, kernel=kernel, gram_block_rows=gram_block_rows,
+        precision=precision)
     timings["decomposition"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -286,7 +346,8 @@ def _solve_interval_u(
         np.diag(np.minimum(s_lo, s_hi)), np.diag(np.maximum(s_lo, s_hi)), check=False
     )
     core_inverse = inverse_core(core)
-    u_interval = interval_matmul(matrix, v_t_inverse @ core_inverse, kernel=kernel)
+    recovery = _match_storage(v_t_inverse @ core_inverse, matrix)
+    u_interval = interval_matmul(matrix, recovery, kernel=kernel)
     return u_interval, v_t_inverse, core_inverse
 
 
@@ -298,13 +359,15 @@ def isvd3(
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    precision: Optional[PrecisionPolicy] = None,
 ) -> IntervalDecomposition:
     """Align the right factors first, then solve for U with interval algebra (Alg. 10)."""
     matrix = as_interval_operand(matrix)
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows
+        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows,
+        precision=precision,
     )
 
     start = time.perf_counter()
@@ -335,6 +398,7 @@ def isvd4(
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    precision: Optional[PrecisionPolicy] = None,
 ) -> IntervalDecomposition:
     """ISVD3 plus a final recomputation of V from the recovered U (Alg. 11).
 
@@ -345,7 +409,8 @@ def isvd4(
     _validate_inputs(matrix, rank)
 
     v_lo, s_lo, v_hi, s_hi, alignment, timings = _aligned_gram_factors(
-        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows
+        matrix, rank, align_method, kernel=kernel, gram_block_rows=gram_block_rows,
+        precision=precision,
     )
 
     start = time.perf_counter()
@@ -355,7 +420,8 @@ def isvd4(
 
     u_avg = u_interval.midpoint()
     u_inverse = safe_inverse(u_avg, condition_threshold=condition_threshold)
-    v_interval = interval_matmul(core_inverse @ u_inverse, matrix, kernel=kernel).T
+    recompute = _match_storage(core_inverse @ u_inverse, matrix)
+    v_interval = interval_matmul(recompute, matrix, kernel=kernel).T
     timings["decomposition"] += time.perf_counter() - start
 
     start = time.perf_counter()
@@ -381,6 +447,7 @@ def isvd(
     condition_threshold: float = DEFAULT_CONDITION_THRESHOLD,
     kernel: KernelLike = None,
     gram_block_rows: Optional[int] = None,
+    dtype: PrecisionLike = None,
 ) -> IntervalDecomposition:
     """Decompose an interval-valued matrix with the requested ISVD strategy.
 
@@ -415,6 +482,14 @@ def isvd(
         Row-chunk size for the dense ISVD2/3/4 gram accumulation (see
         :func:`~repro.interval.linalg.interval_gram`).  ``None`` (default)
         keeps the unblocked, byte-identical product.
+    dtype:
+        Precision policy (:mod:`repro.precision`): ``None`` or ``"float64"``
+        keep the historical full-precision path; ``"float32"`` stores and
+        accumulates endpoints in float32; ``"mixed"`` stores float32 but
+        accumulates the gram products and LAPACK steps in float64.  The
+        input matrix is cast to the storage dtype up front (with an outward
+        endpoint nudge so the cast itself never narrows an interval), and
+        all factors come back in the storage dtype.
 
     Returns
     -------
@@ -427,23 +502,32 @@ def isvd(
     if is_sparse_interval(matrix) and method in (ISVDMethod.ISVD0, ISVDMethod.ISVD1):
         matrix = matrix.to_dense()
 
+    precision = resolve_precision(dtype)
+    if precision is not None and precision.is_default:
+        # Explicit float64 must be byte-identical to no policy at all.
+        precision = None
+    if precision is not None and matrix.dtype != precision.storage_dtype:
+        matrix = matrix.astype(precision.storage_dtype, outward=True)
+
     if method is ISVDMethod.ISVD0:
         if target is not DecompositionTarget.C:
             raise ISVDError("ISVD0 produces scalar factors only (decomposition target 'c')")
-        return isvd0(matrix, rank)
+        return isvd0(matrix, rank, precision=precision)
     if method is ISVDMethod.ISVD1:
-        return isvd1(matrix, rank, target=target, align_method=align_method)
+        return isvd1(matrix, rank, target=target, align_method=align_method,
+                     precision=precision)
     if method is ISVDMethod.ISVD2:
         return isvd2(matrix, rank, target=target, align_method=align_method,
-                     kernel=kernel, gram_block_rows=gram_block_rows)
+                     kernel=kernel, gram_block_rows=gram_block_rows,
+                     precision=precision)
     if method is ISVDMethod.ISVD3:
         return isvd3(
             matrix, rank, target=target, align_method=align_method,
             condition_threshold=condition_threshold, kernel=kernel,
-            gram_block_rows=gram_block_rows,
+            gram_block_rows=gram_block_rows, precision=precision,
         )
     return isvd4(
         matrix, rank, target=target, align_method=align_method,
         condition_threshold=condition_threshold, kernel=kernel,
-        gram_block_rows=gram_block_rows,
+        gram_block_rows=gram_block_rows, precision=precision,
     )

@@ -28,6 +28,10 @@ the fit callable:
   through the pluggable kernel registry (:mod:`repro.interval.kernels`) and
   therefore honours a ``kernel=`` fit option (ISVD2/3/4, whose gram and
   factor-recovery steps are interval products);
+* ``dtype_aware`` — True when the method honours a ``dtype=`` fit option
+  selecting a precision policy (:mod:`repro.precision`): the ISVD family,
+  which can store endpoints in float32 (optionally with float64
+  accumulation) instead of the float64 default;
 * ``cost`` — coarse cost class: ``"closed-form"`` (a fixed number of dense
   linear-algebra kernels), ``"iterative"`` (gradient / multiplicative update
   loops) or ``"expensive"`` (methods the paper reports as impractically slow,
@@ -87,6 +91,7 @@ class FactorizerInfo:
     requires_nonnegative: bool = False
     kernel_aware: bool = False
     sparse_aware: bool = False
+    dtype_aware: bool = False
     _fit: Callable[..., IntervalDecomposition] = field(repr=False, default=None)
 
     def supports_target(self, target: Union[str, DecompositionTarget]) -> bool:
@@ -186,31 +191,31 @@ def _isvd_fit(method: str) -> Callable[..., IntervalDecomposition]:
 
 register(FactorizerInfo(
     key="isvd0", display_name="ISVD0", targets=("c",), default_target="c",
-    cost="closed-form", scalar_only=True,
+    cost="closed-form", scalar_only=True, dtype_aware=True,
     summary="SVD of the midpoint matrix (average and decompose, Alg. 7)",
     _fit=_isvd_fit("isvd0"),
 ))
 register(FactorizerInfo(
     key="isvd1", display_name="ISVD1", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form",
+    cost="closed-form", dtype_aware=True,
     summary="endpoint SVDs aligned with ILSA (decompose and align, Alg. 8)",
     _fit=_isvd_fit("isvd1"),
 ))
 register(FactorizerInfo(
     key="isvd2", display_name="ISVD2", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True, sparse_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True, dtype_aware=True,
     summary="Gram eigen-decomposition, solve U, then align (Alg. 9)",
     _fit=_isvd_fit("isvd2"),
 ))
 register(FactorizerInfo(
     key="isvd3", display_name="ISVD3", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True, sparse_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True, dtype_aware=True,
     summary="align first, then solve U with interval algebra (Alg. 10)",
     _fit=_isvd_fit("isvd3"),
 ))
 register(FactorizerInfo(
     key="isvd4", display_name="ISVD4", targets=("a", "b", "c"), default_target="b",
-    cost="closed-form", kernel_aware=True, sparse_aware=True,
+    cost="closed-form", kernel_aware=True, sparse_aware=True, dtype_aware=True,
     summary="ISVD3 plus V recomputation; the paper's best strategy (Alg. 11)",
     _fit=_isvd_fit("isvd4"),
 ))

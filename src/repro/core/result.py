@@ -149,11 +149,19 @@ class IntervalDecomposition:
         """Scalar view of ``Sigma`` (midpoints when interval-valued)."""
         return self.sigma.midpoint() if _is_interval(self.sigma) else np.asarray(self.sigma)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Endpoint dtype of the factors (float32 under a low-precision policy)."""
+        u = self.u.lower if _is_interval(self.u) else np.asarray(self.u)
+        return u.dtype
+
     @staticmethod
     def _endpoints(matrix: FactorMatrix) -> Tuple[np.ndarray, np.ndarray]:
         if _is_interval(matrix):
             return matrix.lower, matrix.upper
-        scalar = np.asarray(matrix, dtype=float)
+        scalar = np.asarray(matrix)
+        if scalar.dtype != np.float32:
+            scalar = np.asarray(scalar, dtype=float)
         return scalar, scalar
 
     def u_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -23,13 +23,21 @@ from repro.interval.array import IntervalMatrix
 from repro.interval.linalg import average_replacement_matrix, norm_mat
 
 
+def _as_float(values) -> np.ndarray:
+    """Coerce to a float endpoint array, keeping float32 storage as-is."""
+    values = np.asarray(values)
+    if values.dtype == np.float32:
+        return values
+    return np.asarray(values, dtype=float)
+
+
 def combine_min_max(lower: np.ndarray, upper: np.ndarray) -> IntervalMatrix:
     """Combine min/max matrices into a valid interval matrix (Section 3.4.1).
 
     Entries where the minimum exceeds the maximum are replaced by the average
     of the two values (degenerate interval), exactly as in the paper.
     """
-    candidate = IntervalMatrix(np.asarray(lower, float), np.asarray(upper, float), check=False)
+    candidate = IntervalMatrix(_as_float(lower), _as_float(upper), check=False)
     return average_replacement_matrix(candidate)
 
 
@@ -45,8 +53,8 @@ def _renormalized_factors(
     the per-column product of the norms removed from U and V; the core matrix
     must be multiplied by it to preserve the reconstruction (the paper's rho_j).
     """
-    x = 0.5 * (np.asarray(u_lower, float) + np.asarray(u_upper, float))
-    y = 0.5 * (np.asarray(v_lower, float) + np.asarray(v_upper, float))
+    x = 0.5 * (_as_float(u_lower) + _as_float(u_upper))
+    y = 0.5 * (_as_float(v_lower) + _as_float(v_upper))
     u, u_norms = norm_mat(x)
     v, v_norms = norm_mat(y)
     return u, v, u_norms * v_norms
@@ -56,8 +64,8 @@ def _scaled_core_interval(
     sigma_lower: np.ndarray, sigma_upper: np.ndarray, scale: np.ndarray
 ) -> IntervalMatrix:
     """Rescale an interval diagonal core by per-column factors and fix ordering."""
-    lo = np.diag(np.asarray(sigma_lower, float)).copy() if np.ndim(sigma_lower) == 2 else np.asarray(sigma_lower, float).copy()
-    hi = np.diag(np.asarray(sigma_upper, float)).copy() if np.ndim(sigma_upper) == 2 else np.asarray(sigma_upper, float).copy()
+    lo = np.diag(_as_float(sigma_lower)).copy() if np.ndim(sigma_lower) == 2 else _as_float(sigma_lower).copy()
+    hi = np.diag(_as_float(sigma_upper)).copy() if np.ndim(sigma_upper) == 2 else _as_float(sigma_upper).copy()
     lo = lo * scale
     hi = hi * scale
     combined = combine_min_max(np.diag(lo), np.diag(hi))
@@ -87,8 +95,8 @@ def build_decomposition(
     timings = dict(timings or {})
     metadata = dict(metadata or {})
 
-    sigma_lower = np.asarray(sigma_lower, dtype=float)
-    sigma_upper = np.asarray(sigma_upper, dtype=float)
+    sigma_lower = _as_float(sigma_lower)
+    sigma_upper = _as_float(sigma_upper)
     if sigma_lower.ndim == 1:
         sigma_lower = np.diag(sigma_lower)
     if sigma_upper.ndim == 1:

@@ -39,7 +39,9 @@ def _as_endpoint_features(features: Features) -> np.ndarray:
     """
     if isinstance(features, IntervalMatrix):
         return np.hstack([features.lower, features.upper])
-    features = np.asarray(features, dtype=float)
+    features = np.asarray(features)
+    if features.dtype != np.float32:
+        features = np.asarray(features, dtype=float)
     return np.hstack([features, features])
 
 
@@ -78,7 +80,9 @@ def pairwise_interval_squared_distances(
     if references_sq is None:
         references_sq = (reference_points**2).sum(axis=1)
     else:
-        references_sq = np.asarray(references_sq, dtype=float)
+        references_sq = np.asarray(references_sq)
+        if references_sq.dtype != np.float32:
+            references_sq = np.asarray(references_sq, dtype=float)
         if references_sq.shape != (reference_points.shape[0],):
             raise ValueError(
                 f"references_sq must have shape ({reference_points.shape[0]},), "

@@ -17,6 +17,33 @@ from repro.interval.scalar import Interval, IntervalError
 ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float], float]
 
 
+def _endpoint_array(values: ArrayLike) -> np.ndarray:
+    """Coerce one endpoint operand, preserving float32.
+
+    float32 arrays pass through untouched (the opt-in low-precision mode);
+    every other input — float64, integers, nested lists — lands on float64
+    exactly as before, so the default path stays byte-identical.
+    """
+    values = np.asarray(values)
+    if values.dtype == np.float32:
+        return values
+    return np.asarray(values, dtype=float)
+
+
+def _common_endpoints(lower: ArrayLike, upper: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce an endpoint pair to a common dtype.
+
+    The pair stays float32 only when *both* operands are float32; a mixed
+    pair promotes to float64 (numpy's own promotion rule), so an interval
+    matrix never silently mixes endpoint precisions.
+    """
+    lower = np.asarray(lower)
+    upper = np.asarray(upper)
+    if lower.dtype == np.float32 and upper.dtype == np.float32:
+        return lower, upper
+    return np.asarray(lower, dtype=float), np.asarray(upper, dtype=float)
+
+
 class IntervalMatrix:
     """A dense matrix whose entries are closed intervals.
 
@@ -49,8 +76,7 @@ class IntervalMatrix:
     __array_priority__ = 100  # make ndarray defer to our reflected operators
 
     def __init__(self, lower: ArrayLike, upper: ArrayLike, *, check: bool = True):
-        lower = np.asarray(lower, dtype=float)
-        upper = np.asarray(upper, dtype=float)
+        lower, upper = _common_endpoints(lower, upper)
         if lower.shape != upper.shape:
             raise IntervalError(
                 f"lower/upper shape mismatch: {lower.shape} vs {upper.shape}"
@@ -74,14 +100,13 @@ class IntervalMatrix:
     @classmethod
     def from_scalar(cls, values: ArrayLike) -> "IntervalMatrix":
         """Wrap a scalar matrix as degenerate intervals ``[x, x]``."""
-        values = np.asarray(values, dtype=float)
+        values = _endpoint_array(values)
         return cls(values.copy(), values.copy())
 
     @classmethod
     def from_center(cls, center: ArrayLike, radius: ArrayLike) -> "IntervalMatrix":
         """Build from a midpoint matrix and a non-negative radius matrix."""
-        center = np.asarray(center, dtype=float)
-        radius = np.asarray(radius, dtype=float)
+        center, radius = _common_endpoints(center, radius)
         if (radius < 0).any():
             raise IntervalError("radius matrix must be non-negative")
         return cls(center - radius, center + radius)
@@ -103,9 +128,9 @@ class IntervalMatrix:
         return cls(lower, upper)
 
     @classmethod
-    def zeros(cls, shape: Tuple[int, ...]) -> "IntervalMatrix":
+    def zeros(cls, shape: Tuple[int, ...], dtype=float) -> "IntervalMatrix":
         """All-zero (scalar) interval matrix of the given shape."""
-        return cls(np.zeros(shape), np.zeros(shape))
+        return cls(np.zeros(shape, dtype=dtype), np.zeros(shape, dtype=dtype))
 
     @classmethod
     def coerce(cls, value: Union["IntervalMatrix", ArrayLike]) -> "IntervalMatrix":
@@ -139,9 +164,37 @@ class IntervalMatrix:
         return self.lower.size
 
     @property
+    def dtype(self) -> np.dtype:
+        """Endpoint dtype (shared by ``lower`` and ``upper``)."""
+        return self.lower.dtype
+
+    @property
     def T(self) -> "IntervalMatrix":
         """Transpose (endpointwise)."""
         return self._derive(self.lower.T, self.upper.T)
+
+    def astype(self, dtype, *, outward: bool = False) -> "IntervalMatrix":
+        """Endpoint cast to another dtype (no-op when already there).
+
+        A narrowing cast (float64 -> float32) rounds each endpoint to
+        nearest, which keeps ``lower <= upper`` (rounding is monotone) but
+        may *shrink* the interval — a rounded-up lower or rounded-down
+        upper excludes values the original contained.  Pass
+        ``outward=True`` to nudge any endpoint that moved inward one ulp
+        back out (:func:`numpy.nextafter`), making the cast itself a true
+        enclosure of the original intervals.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.lower.dtype:
+            return self
+        lower = self.lower.astype(dtype)
+        upper = self.upper.astype(dtype)
+        if outward:
+            lower = np.where(lower.astype(self.lower.dtype) > self.lower,
+                             np.nextafter(lower, dtype.type(-np.inf)), lower)
+            upper = np.where(upper.astype(self.upper.dtype) < self.upper,
+                             np.nextafter(upper, dtype.type(np.inf)), upper)
+        return self._derive(lower, upper)
 
     def copy(self) -> "IntervalMatrix":
         """Deep copy of both endpoint arrays."""
@@ -206,7 +259,7 @@ class IntervalMatrix:
             self.lower[key] = value.lower
             self.upper[key] = value.upper
         else:
-            value = np.asarray(value, dtype=float)
+            value = np.asarray(value, dtype=self.lower.dtype)
             self.lower[key] = value
             self.upper[key] = value
 

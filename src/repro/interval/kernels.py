@@ -97,6 +97,97 @@ def resolve_mixed_chunk_elements(override: Optional[int] = None) -> int:
 ProductFn = Callable[..., Tuple[np.ndarray, np.ndarray]]
 
 
+# --------------------------------------------------------------------------- #
+# Low-precision enclosure inflation (directed-rounding-style)
+# --------------------------------------------------------------------------- #
+def enclosure_pad(magnitude: np.ndarray, inner_dim: int, dtype) -> np.ndarray:
+    """Per-entry radius pad making a float32 product a true enclosure.
+
+    numpy has no directed-rounding mode, so a float32 interval product is
+    computed round-to-nearest and each endpoint may land on the wrong side
+    of the exact value.  The classical forward-error bound for a length-n
+    dot product is ``|fl(x.y) - x.y| <= gamma_n * (|x|.|y|)`` with
+    ``gamma_n = n*eps / (1 - n*eps)``; ``magnitude`` is the entrywise bound
+    ``max(|lower|, |upper|)_A @ max(|lower|, |upper|)_B``, which dominates
+    ``|x|.|y|`` over every member product the kernel summed.  The
+    coefficient is doubled because the magnitude product itself was
+    computed with the same rounding error, and a multiple of the smallest
+    normal guards against products underflowing below the bound entirely.
+    The sound kernels add this pad — then nudge one more ulp outward via
+    ``np.nextafter`` — whenever they execute in float32, so ``exact`` and
+    ``rump`` remain true enclosures in low precision (verified by the
+    brute-force suite in ``tests/precision/``, not assumed).
+    """
+    dtype = np.dtype(dtype)
+    eps = float(np.finfo(dtype).eps)
+    n_ops = int(inner_dim) + 8  # inner sum plus the kernel's few extra adds
+    gamma = (n_ops * eps) / (1.0 - n_ops * eps)
+    return (2.0 * gamma) * magnitude + dtype.type(np.finfo(dtype).tiny * n_ops)
+
+
+def _operand_magnitude(operand):
+    """Entrywise magnitude bound ``max(|lower|, |upper|)`` of an operand
+    (sparse operands keep their pattern)."""
+    if is_sparse_interval(operand):
+        data = np.maximum(np.abs(operand.lower.data), np.abs(operand.upper.data))
+        return sp.csr_array((data, operand.lower.indices, operand.lower.indptr),
+                            shape=operand.shape)
+    return np.maximum(np.abs(operand.lower), np.abs(operand.upper))
+
+
+def _inflate_product(lower, upper, a, b, matmul: Callable):
+    """Outward-inflate a float32 product of a sound kernel (no-op otherwise)."""
+    if lower.dtype != np.float32:
+        return lower, upper
+    magnitude = _operand_magnitude(a)
+    mag_b = _operand_magnitude(b)
+    if sp.issparse(magnitude) or sp.issparse(mag_b):
+        magnitude = magnitude @ mag_b
+    else:
+        magnitude = matmul(magnitude, mag_b)
+    if sp.issparse(lower):
+        # Cells structurally absent from the magnitude product are exactly
+        # [0, 0] (every summand has a structural zero), so padding only the
+        # stored pattern is sound.
+        pad = magnitude.tocsr()
+        pad.data = np.asarray(enclosure_pad(pad.data, a.shape[-1], lower.dtype),
+                              dtype=lower.dtype)
+        lower = (lower - pad).tocsr()
+        upper = (upper + pad).tocsr()
+        lower.data = np.nextafter(lower.data, np.float32(-np.inf))
+        upper.data = np.nextafter(upper.data, np.float32(np.inf))
+        return lower, upper
+    if sp.issparse(magnitude):
+        magnitude = magnitude.toarray()
+    pad = enclosure_pad(magnitude, a.shape[-1], lower.dtype)
+    return (np.nextafter(lower - pad, np.float32(-np.inf)),
+            np.nextafter(upper + pad, np.float32(np.inf)))
+
+
+def _inflate_gram(lower, upper, matrix, matmul: Callable,
+                  accum_dtype=None):
+    """Outward-inflate a float32 gram result of a sound kernel.
+
+    With float64 accumulation (the mixed policy) the forward error is
+    orders of magnitude below one float32 ulp, so the narrowing cast is the
+    only inward move and a one-ulp ``nextafter`` nudge suffices; pure
+    float32 execution gets the full :func:`enclosure_pad`.
+    """
+    if lower.dtype != np.float32:
+        return lower, upper
+    if accum_dtype is not None and np.dtype(accum_dtype) == np.float64:
+        return (np.nextafter(lower, np.float32(-np.inf)),
+                np.nextafter(upper, np.float32(np.inf)))
+    magnitude = _operand_magnitude(matrix)
+    if sp.issparse(magnitude):
+        magnitude = (magnitude.T.tocsr() @ magnitude).toarray()
+    else:
+        magnitude = matmul(magnitude.T, magnitude)
+    pad = enclosure_pad(magnitude, matrix.shape[0], lower.dtype)
+    return (np.nextafter(lower - pad, np.float32(-np.inf)),
+            np.nextafter(upper + pad, np.float32(np.inf)))
+
+
 @dataclass(frozen=True)
 class KernelInfo:
     """One registered interval-product kernel: capability metadata + callables.
@@ -156,18 +247,26 @@ class KernelInfo:
                     f"kernel {self.key!r} has no sparse execution; densify the "
                     f"operands with .to_dense() or use one of: {supported}"
                 )
-            return self._sparse_product(a, b)
+            lower, upper = self._sparse_product(a, b)
+            if self.sound:
+                lower, upper = _inflate_product(lower, upper, a, b, np.matmul)
+            return lower, upper
         if matmul is None:
             matmul = np.matmul
         if mixed_chunk_elements is None:
             # Three-argument call keeps kernels registered against the PR-3
             # ProductFn contract working; the built-ins default the kwarg.
-            return self._product(a, b, matmul)
-        return self._product(a, b, matmul,
-                             mixed_chunk_elements=mixed_chunk_elements)
+            lower, upper = self._product(a, b, matmul)
+        else:
+            lower, upper = self._product(a, b, matmul,
+                                         mixed_chunk_elements=mixed_chunk_elements)
+        if self.sound:
+            lower, upper = _inflate_product(lower, upper, a, b, matmul)
+        return lower, upper
 
     def gram(self, matrix, matmul: Optional[Callable] = None,
-             block_rows: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+             block_rows: Optional[int] = None,
+             accum_dtype=None) -> Tuple[np.ndarray, np.ndarray]:
         """Dense endpoint arrays of the Gram product ``matrix.T @ matrix``.
 
         The ISVD2/3/4 hot path.  Kernels with a dedicated gram routine
@@ -190,16 +289,48 @@ class KernelInfo:
         ``block_rows=None`` (default) reproduces the unblocked product byte
         for byte.  Kernels without a gram routine fall back to
         ``product(matrix.T, matrix)`` and reject ``block_rows``.
+
+        ``accum_dtype`` (the mixed-precision policy's accumulation dtype)
+        makes the endpoint/center/radius sums run in that dtype before the
+        result is cast back to the operand's storage dtype; ``None``
+        reproduces the storage-dtype execution exactly.
         """
         if matmul is None:
             matmul = np.matmul
+        if accum_dtype is not None and \
+                np.dtype(accum_dtype) == getattr(matrix, "dtype", None):
+            accum_dtype = None  # accumulating in the storage dtype is a no-op
         if self._gram is not None:
-            return self._gram(matrix, matmul, block_rows)
+            if accum_dtype is None:
+                lower, upper = self._gram(matrix, matmul, block_rows)
+            else:
+                lower, upper = self._gram(matrix, matmul, block_rows,
+                                          accum_dtype=accum_dtype)
+            if self.sound:
+                lower, upper = _inflate_gram(lower, upper, matrix, matmul,
+                                             accum_dtype=accum_dtype)
+            return lower, upper
         if block_rows is not None:
             raise IntervalError(
                 f"kernel {self.key!r} has no blocked gram path; leave "
                 "block_rows unset"
             )
+        if accum_dtype is not None:
+            # Upcast-execute-downcast: the product inflates itself only at
+            # float32 execution, so the float64-accumulated result needs the
+            # outward narrowing cast here to stay an enclosure.
+            storage = matrix.dtype
+            wide = matrix.astype(accum_dtype)
+            lower, upper = self.product(wide.T, wide, matmul=matmul)
+            if np.dtype(storage) != np.dtype(accum_dtype) and self.sound:
+                lower, upper = _inflate_gram(lower.astype(storage),
+                                             upper.astype(storage),
+                                             matrix, matmul,
+                                             accum_dtype=accum_dtype)
+            else:
+                lower = lower.astype(storage)
+                upper = upper.astype(storage)
+            return lower, upper
         return self.product(matrix.T, matrix, matmul=matmul)
 
 
@@ -285,12 +416,20 @@ def _endpoint4_sparse_product(a, b) -> Tuple[np.ndarray, np.ndarray]:
     return stacked.min(axis=0), stacked.max(axis=0)
 
 
-def _endpoint4_gram(m, matmul: Callable,
-                    block_rows: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
-    """Gram-product specialization: sparse BLAS input, optional row blocking."""
+def _endpoint4_gram(m, matmul: Callable, block_rows: Optional[int],
+                    accum_dtype=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Gram-product specialization: sparse BLAS input, optional row blocking.
+
+    ``accum_dtype`` (mixed precision) runs every endpoint product and sum in
+    that dtype and casts the result back to the storage dtype; ``None``
+    executes entirely in the storage dtype, byte-identical to before.
+    """
     # The two cross endpoint products of a Gram matrix are mutual transposes
     # (LᵀU = (UᵀL)ᵀ — same summand products, reassociated), so the sparse and
     # blocked paths compute one and transpose it: 3 products instead of 4.
+    storage = m.dtype
+    if accum_dtype is not None:
+        m = m.astype(accum_dtype)
     if is_sparse_interval(m):
         lower_t = m.lower.T.tocsr()
         upper_t = m.upper.T.tocsr()
@@ -301,17 +440,20 @@ def _endpoint4_gram(m, matmul: Callable,
             cross.T,
             (upper_t @ m.upper).toarray(),
         ])
-        return stacked.min(axis=0), stacked.max(axis=0)
+        return (stacked.min(axis=0).astype(storage, copy=False),
+                stacked.max(axis=0).astype(storage, copy=False))
     lower, upper = m.lower, m.upper
     n = lower.shape[0]
     if block_rows is None or block_rows >= n:
-        return _endpoint4_product(m.T, m, matmul)
+        lo, hi = _endpoint4_product(m.T, m, matmul)
+        return lo.astype(storage, copy=False), hi.astype(storage, copy=False)
     if block_rows < 1:
         raise IntervalError(f"block_rows must be >= 1, got {block_rows}")
     width = lower.shape[1]
-    acc_ll = np.zeros((width, width))
-    acc_cross = np.zeros((width, width))
-    acc_uu = np.zeros((width, width))
+    acc_dtype = lower.dtype if accum_dtype is None else np.dtype(accum_dtype)
+    acc_ll = np.zeros((width, width), dtype=acc_dtype)
+    acc_cross = np.zeros((width, width), dtype=acc_dtype)
+    acc_uu = np.zeros((width, width), dtype=acc_dtype)
     for start in range(0, n, block_rows):
         stop = start + block_rows
         lower_block = lower[start:stop]
@@ -320,7 +462,8 @@ def _endpoint4_gram(m, matmul: Callable,
         acc_cross += matmul(lower_block.T, upper_block)
         acc_uu += matmul(upper_block.T, upper_block)
     candidates = (acc_ll, acc_cross, acc_cross.T, acc_uu)
-    return np.minimum.reduce(candidates), np.maximum.reduce(candidates)
+    return (np.minimum.reduce(candidates).astype(storage, copy=False),
+            np.maximum.reduce(candidates).astype(storage, copy=False))
 
 
 # --------------------------------------------------------------------------- #
@@ -443,9 +586,17 @@ def _rump_sparse_product(a, b) -> Tuple[np.ndarray, np.ndarray]:
     return center - radius, center + radius
 
 
-def _rump_gram(m, matmul: Callable,
-               block_rows: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
-    """Gram-product specialization of ``rump``: sparse input, row blocking."""
+def _rump_gram(m, matmul: Callable, block_rows: Optional[int],
+               accum_dtype=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Gram-product specialization of ``rump``: sparse input, row blocking.
+
+    ``accum_dtype`` (mixed precision) runs the center/radius products and
+    sums in that dtype and casts back to the storage dtype; ``None``
+    executes entirely in the storage dtype, byte-identical to before.
+    """
+    storage = m.dtype
+    if accum_dtype is not None:
+        m = m.astype(accum_dtype)
     if is_sparse_interval(m):
         center, radius = m.midpoint(), m.radius()
         center_t = center.T.tocsr()
@@ -453,15 +604,18 @@ def _rump_gram(m, matmul: Callable,
         gram_center = (center_t @ center).toarray()
         gram_radius = (abs(center_t) @ radius).toarray() + (
             radius_t @ (abs(center) + radius)).toarray()
-        return gram_center - gram_radius, gram_center + gram_radius
+        return ((gram_center - gram_radius).astype(storage, copy=False),
+                (gram_center + gram_radius).astype(storage, copy=False))
     n = m.lower.shape[0]
     if block_rows is None or block_rows >= n:
-        return _rump_product(m.T, m, matmul)
+        lo, hi = _rump_product(m.T, m, matmul)
+        return lo.astype(storage, copy=False), hi.astype(storage, copy=False)
     if block_rows < 1:
         raise IntervalError(f"block_rows must be >= 1, got {block_rows}")
     width = m.lower.shape[1]
-    gram_center = np.zeros((width, width))
-    gram_radius = np.zeros((width, width))
+    acc_dtype = m.lower.dtype if accum_dtype is None else np.dtype(accum_dtype)
+    gram_center = np.zeros((width, width), dtype=acc_dtype)
+    gram_radius = np.zeros((width, width), dtype=acc_dtype)
     center, radius = m.midpoint(), m.radius()
     for start in range(0, n, block_rows):
         stop = start + block_rows
@@ -471,7 +625,8 @@ def _rump_gram(m, matmul: Callable,
         gram_center += matmul(center_block.T, center_block)
         gram_radius += matmul(abs_center.T, radius_block) + matmul(
             radius_block.T, abs_center + radius_block)
-    return gram_center - gram_radius, gram_center + gram_radius
+    return ((gram_center - gram_radius).astype(storage, copy=False),
+            (gram_center + gram_radius).astype(storage, copy=False))
 
 
 register_kernel(KernelInfo(

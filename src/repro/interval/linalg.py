@@ -90,7 +90,8 @@ def interval_matmul(a: MatrixLike, b: MatrixLike, matmul=None,
 
 
 def interval_gram(matrix: MatrixLike, kernel: KernelLike = None, matmul=None,
-                  block_rows: Optional[int] = None) -> IntervalMatrix:
+                  block_rows: Optional[int] = None,
+                  accum_dtype=None) -> IntervalMatrix:
     """Dense interval Gram matrix ``matrix.T @ matrix`` (the ISVD2/3/4 step).
 
     The result is always a dense ``m x m`` :class:`IntervalMatrix` (the
@@ -108,12 +109,19 @@ def interval_gram(matrix: MatrixLike, kernel: KernelLike = None, matmul=None,
 
     With ``block_rows=None`` and a dense input this is byte-identical to
     ``interval_matmul(matrix.T, matrix, kernel=kernel)``.
+
+    ``accum_dtype`` opts into mixed-precision accumulation: a float32 input
+    runs its endpoint products in ``accum_dtype`` (float64 for the ``mixed``
+    policy) and the result is cast back to the storage dtype, with the sound
+    kernels' enclosure inflation applied after the downcast.  ``None`` (the
+    default) accumulates in the input's own dtype.
     """
     matrix = as_interval_operand(matrix)
     if matrix.ndim != 2:
         raise IntervalError("interval_gram expects a 2-D interval matrix")
     lower, upper = get_kernel(kernel).gram(matrix, matmul=matmul,
-                                           block_rows=block_rows)
+                                           block_rows=block_rows,
+                                           accum_dtype=accum_dtype)
     return IntervalMatrix(np.asarray(lower), np.asarray(upper), check=False)
 
 
@@ -224,7 +232,9 @@ def norm_mat(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         The original column norms, used by the decomposition targets to rescale
         the core matrix.
     """
-    a = np.asarray(a, dtype=float)
+    a = np.asarray(a)
+    if a.dtype != np.float32:
+        a = np.asarray(a, dtype=float)
     if a.ndim != 2:
         raise IntervalError(f"norm_mat expects a 2-D matrix, got ndim={a.ndim}")
     column_norms = np.linalg.norm(a, axis=0)
@@ -265,8 +275,8 @@ def diag_interval(values: IntervalMatrix) -> IntervalMatrix:
     if values.ndim != 1:
         raise IntervalError("diag_interval expects a 1-D interval vector")
     r = values.shape[0]
-    lower = np.zeros((r, r))
-    upper = np.zeros((r, r))
+    lower = np.zeros((r, r), dtype=values.lower.dtype)
+    upper = np.zeros((r, r), dtype=values.upper.dtype)
     np.fill_diagonal(lower, values.lower)
     np.fill_diagonal(upper, values.upper)
     return IntervalMatrix(lower, upper, check=False)

@@ -33,6 +33,17 @@ from repro.interval.array import IntervalMatrix
 from repro.interval.scalar import IntervalError
 
 
+def _endpoint_dtype(lower, upper) -> np.dtype:
+    """Common endpoint dtype of a pair of operands: float32 only when both
+    already are (the opt-in low-precision mode), float64 otherwise — so the
+    default path stays byte-identical and integer/list inputs still land on
+    float64."""
+    if (getattr(lower, "dtype", None) == np.float32
+            and getattr(upper, "dtype", None) == np.float32):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
 def _row_keys(matrix: "sp.csr_array") -> np.ndarray:
     """Global row-major cell keys (``row * n_cols + col``) of a CSR pattern."""
     rows = np.repeat(np.arange(matrix.shape[0], dtype=np.int64),
@@ -53,9 +64,9 @@ def _unify_patterns(lower: "sp.csr_array",
     keys_lower = _row_keys(lower)
     keys_upper = _row_keys(upper)
     union = np.union1d(keys_lower, keys_upper)
-    lower_data = np.zeros(union.size, dtype=float)
+    lower_data = np.zeros(union.size, dtype=lower.data.dtype)
     lower_data[np.searchsorted(union, keys_lower)] = lower.data
-    upper_data = np.zeros(union.size, dtype=float)
+    upper_data = np.zeros(union.size, dtype=upper.data.dtype)
     upper_data[np.searchsorted(union, keys_upper)] = upper.data
     rows = (union // shape[1]).astype(np.int64)
     cols = (union % shape[1]).astype(np.int64)
@@ -93,8 +104,9 @@ class SparseIntervalMatrix:
     __slots__ = ("lower", "upper")
 
     def __init__(self, lower, upper, *, check: bool = True):
-        lower = sp.csr_array(lower, dtype=float)
-        upper = sp.csr_array(upper, dtype=float)
+        dtype = _endpoint_dtype(lower, upper)
+        lower = sp.csr_array(lower, dtype=dtype)
+        upper = sp.csr_array(upper, dtype=dtype)
         if lower.shape != upper.shape:
             raise IntervalError(
                 f"lower/upper shape mismatch: {lower.shape} vs {upper.shape}"
@@ -157,9 +169,10 @@ class SparseIntervalMatrix:
         """Build from coordinate triplets (duplicates are summed per endpoint)."""
         rows = np.asarray(rows)
         cols = np.asarray(cols)
-        lower = sp.csr_array((np.asarray(lower_data, dtype=float), (rows, cols)),
+        dtype = _endpoint_dtype(np.asarray(lower_data), np.asarray(upper_data))
+        lower = sp.csr_array((np.asarray(lower_data, dtype=dtype), (rows, cols)),
                              shape=shape)
-        upper = sp.csr_array((np.asarray(upper_data, dtype=float), (rows, cols)),
+        upper = sp.csr_array((np.asarray(upper_data, dtype=dtype), (rows, cols)),
                              shape=shape)
         return cls(lower, upper, check=check)
 
@@ -199,10 +212,41 @@ class SparseIntervalMatrix:
         return self.nnz / self.size if self.size else 0.0
 
     @property
+    def dtype(self) -> np.dtype:
+        """Endpoint dtype (shared by the lower and upper data arrays)."""
+        return self.lower.dtype
+
+    @property
     def T(self) -> "SparseIntervalMatrix":
         """Transpose (endpointwise)."""
         return SparseIntervalMatrix(self.lower.T.tocsr(), self.upper.T.tocsr(),
                                     check=False)
+
+    def astype(self, dtype, *, outward: bool = False) -> "SparseIntervalMatrix":
+        """Endpoint cast to another dtype (no-op when already there).
+
+        Same contract as :meth:`IntervalMatrix.astype`: a narrowing cast
+        rounds to nearest (order-preserving but possibly shrinking), and
+        ``outward=True`` nudges inward-rounded endpoints one ulp back out
+        so the cast encloses the original stored intervals.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.lower.dtype:
+            return self
+        lower_data = self.lower.data.astype(dtype)
+        upper_data = self.upper.data.astype(dtype)
+        if outward:
+            lower_data = np.where(
+                lower_data.astype(self.lower.dtype) > self.lower.data,
+                np.nextafter(lower_data, dtype.type(-np.inf)), lower_data)
+            upper_data = np.where(
+                upper_data.astype(self.upper.dtype) < self.upper.data,
+                np.nextafter(upper_data, dtype.type(np.inf)), upper_data)
+        lower = sp.csr_array((lower_data, self.lower.indices, self.lower.indptr),
+                             shape=self.shape)
+        upper = sp.csr_array((upper_data, self.lower.indices, self.lower.indptr),
+                             shape=self.shape)
+        return SparseIntervalMatrix(lower, upper, check=False)
 
     def copy(self) -> "SparseIntervalMatrix":
         """Deep copy of both endpoint matrices."""

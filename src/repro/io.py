@@ -198,21 +198,32 @@ def interval_fingerprint(matrix: Union[IntervalMatrix, SparseIntervalMatrix]) ->
     matrix and its dense equivalent deliberately do *not* share a
     fingerprint, because the two representations take different execution
     paths and may differ in the last ulp.
+
+    Non-default endpoint dtypes contribute a ``dtype:`` tag to the digest, so
+    a float32 matrix never collides with the float64 matrix holding the same
+    values; float64 fingerprints are byte-identical to what this function has
+    always produced.
     """
     if is_sparse_interval(matrix):
+        dtype = matrix.dtype
         digest = hashlib.sha256()
         digest.update(b"csr:")
         digest.update(repr(matrix.shape).encode())
+        if dtype != np.float64:
+            digest.update(f"dtype:{dtype.name}:".encode())
         digest.update(np.ascontiguousarray(matrix.lower.indptr).tobytes())
         digest.update(np.ascontiguousarray(matrix.lower.indices).tobytes())
-        digest.update(np.ascontiguousarray(matrix.lower.data, dtype=float).tobytes())
-        digest.update(np.ascontiguousarray(matrix.upper.data, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(matrix.lower.data, dtype=dtype).tobytes())
+        digest.update(np.ascontiguousarray(matrix.upper.data, dtype=dtype).tobytes())
         return digest.hexdigest()
     matrix = IntervalMatrix.coerce(matrix)
+    dtype = matrix.lower.dtype
     digest = hashlib.sha256()
     digest.update(repr(matrix.shape).encode())
-    digest.update(np.ascontiguousarray(matrix.lower, dtype=float).tobytes())
-    digest.update(np.ascontiguousarray(matrix.upper, dtype=float).tobytes())
+    if dtype != np.float64:
+        digest.update(f"dtype:{dtype.name}:".encode())
+    digest.update(np.ascontiguousarray(matrix.lower, dtype=dtype).tobytes())
+    digest.update(np.ascontiguousarray(matrix.upper, dtype=dtype).tobytes())
     return digest.hexdigest()
 
 
@@ -224,6 +235,10 @@ def decomposition_fingerprint(decomposition: IntervalDecomposition) -> str:
     The sharded model store records one per row-range shard at publish time
     and re-verifies on load, so a shard file that was swapped, truncated or
     mixed up between models is caught before it silently serves wrong rows.
+
+    As with :func:`interval_fingerprint`, non-default factor dtypes add a
+    ``dtype:`` tag to the digest; float64 decompositions fingerprint exactly
+    as they always have.
     """
     digest = hashlib.sha256()
     digest.update(
@@ -235,10 +250,15 @@ def decomposition_fingerprint(decomposition: IntervalDecomposition) -> str:
         if isinstance(factor, IntervalMatrix):
             lower, upper = factor.lower, factor.upper
         else:
-            lower = upper = np.asarray(factor, dtype=float)
+            scalar = np.asarray(factor)
+            if scalar.dtype != np.float32:
+                scalar = np.asarray(scalar, dtype=float)
+            lower = upper = scalar
         digest.update(f"{prefix}{lower.shape!r}:".encode())
-        digest.update(np.ascontiguousarray(lower, dtype=float).tobytes())
-        digest.update(np.ascontiguousarray(upper, dtype=float).tobytes())
+        if lower.dtype != np.float64:
+            digest.update(f"dtype:{lower.dtype.name}:".encode())
+        digest.update(np.ascontiguousarray(lower, dtype=lower.dtype).tobytes())
+        digest.update(np.ascontiguousarray(upper, dtype=lower.dtype).tobytes())
     return digest.hexdigest()
 
 
@@ -306,7 +326,10 @@ def _pack_factor(prefix: str, factor, payload: Dict[str, np.ndarray]) -> None:
         payload[f"{prefix}_lower"] = factor.lower
         payload[f"{prefix}_upper"] = factor.upper
     else:
-        payload[prefix] = np.asarray(factor, dtype=float)
+        scalar = np.asarray(factor)
+        if scalar.dtype != np.float32:
+            scalar = np.asarray(scalar, dtype=float)
+        payload[prefix] = scalar
 
 
 def _unpack_factor(prefix: str, archive) -> Union[np.ndarray, IntervalMatrix]:

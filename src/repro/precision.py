@@ -1,0 +1,119 @@
+"""Precision policies: opt-in float32 / mixed-precision execution.
+
+Everything in the reproduction defaults to float64 — byte-identical to the
+paper runs — but model memory and BLAS throughput both pay 2x for it.  A
+:class:`PrecisionPolicy` names an opt-in alternative:
+
+* ``float64`` — the default; storage and accumulation both in float64.
+  Selecting it explicitly is byte-identical to not selecting anything.
+* ``float32`` — endpoints stored *and* accumulated in float32: half the
+  memory, roughly double the BLAS throughput.
+* ``mixed`` — float32 storage with float64 accumulation for the
+  reductions that lose the most (gram products, least-squares fold-in):
+  the memory win of float32 with most of the summation accuracy of
+  float64.
+
+A policy only says *which* dtypes to use; the numerical consequences are
+measured and bounded by the error-budget tier (``tests/precision/``),
+whose per-operation budgets live in one auditable module
+(``tests/precision/budgets.py``).  For the sound interval kernels
+(``exact``, ``rump``), low-precision execution additionally applies
+directed-rounding-style radius inflation (see
+:func:`repro.interval.kernels.inflate_enclosure`) so their results remain
+true enclosures — verified by brute force in the same tier, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """One named precision mode: a storage dtype plus an accumulation dtype.
+
+    ``storage_dtype`` is the dtype of every endpoint array at rest (interval
+    matrices, decomposition factors, NPZ archives, protocol frames).
+    ``accum_dtype`` is the dtype long reductions run in — blocked gram
+    accumulators and the fold-in least squares — before the result is cast
+    back to storage.  ``float64`` uses (f64, f64), ``float32`` (f32, f32),
+    ``mixed`` (f32, f64).
+    """
+
+    name: str
+    storage_dtype: np.dtype
+    accum_dtype: np.dtype
+
+    @property
+    def is_default(self) -> bool:
+        """True for the float64 policy (whose execution must stay
+        byte-identical to passing no policy at all)."""
+        return self.name == "float64"
+
+    @property
+    def low_precision(self) -> bool:
+        """True when endpoints are stored below float64 (the modes that
+        need enclosure inflation on the sound kernels)."""
+        return self.storage_dtype != np.dtype(np.float64)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The registered policies, keyed by name (also accepts the storage dtype
+#: spellings numpy users expect; see :func:`resolve_precision`).
+PRECISION_POLICIES = {
+    "float64": PrecisionPolicy("float64", np.dtype(np.float64),
+                               np.dtype(np.float64)),
+    "float32": PrecisionPolicy("float32", np.dtype(np.float32),
+                               np.dtype(np.float32)),
+    "mixed": PrecisionPolicy("mixed", np.dtype(np.float32),
+                             np.dtype(np.float64)),
+}
+
+#: Alternate spellings accepted by :func:`resolve_precision`.
+_ALIASES = {
+    "f64": "float64", "double": "float64", "fp64": "float64",
+    "f32": "float32", "single": "float32", "fp32": "float32",
+}
+
+PrecisionLike = Union[None, str, PrecisionPolicy, np.dtype, type]
+
+
+def resolve_precision(spec: PrecisionLike) -> Optional[PrecisionPolicy]:
+    """Resolve a precision spec to a policy; ``None`` stays ``None``.
+
+    ``None`` means "no opt-in": callers must take the exact pre-policy
+    code path, which is how the float64 default stays byte-identical.
+    Accepts policy names (``"float32"``, ``"mixed"``), common aliases
+    (``"f32"``, ``"single"``), numpy dtypes, and policies themselves.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, PrecisionPolicy):
+        return spec
+    if isinstance(spec, (np.dtype, type)):
+        spec = np.dtype(spec).name
+    key = str(spec).strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return PRECISION_POLICIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision mode {spec!r}; available: "
+            f"{', '.join(sorted(PRECISION_POLICIES))} "
+            f"(aliases: {', '.join(sorted(_ALIASES))})"
+        ) from None
+
+
+def available_precisions() -> list:
+    """Sorted list of the policy names (for CLI choices)."""
+    return sorted(PRECISION_POLICIES)
+
+
+def dtype_name(dtype) -> str:
+    """Canonical name of an endpoint dtype (``"float32"`` / ``"float64"``)."""
+    return np.dtype(dtype).name

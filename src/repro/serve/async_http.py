@@ -413,6 +413,7 @@ def create_async_server(
     request_timeout: Optional[float] = None,
     degraded: str = "fail",
     worker_options: Optional[Dict[str, object]] = None,
+    dtype: Optional[str] = None,
 ) -> AsyncServingServer:
     """Build the asyncio front end over a model store (CLI-facing twin of
     :func:`repro.serve.http.create_server`).
@@ -427,7 +428,7 @@ def create_async_server(
     app = ServingApp(store, max_batch=max_batch, batch_delay=batch_delay,
                      kernel=kernel, workers=workers,
                      request_timeout=request_timeout, degraded=degraded,
-                     worker_options=worker_options)
+                     worker_options=worker_options, dtype=dtype)
     return AsyncServingServer(app, host=host, port=port,
                               executor_threads=executor_threads,
                               verbose=verbose,

@@ -147,6 +147,12 @@ class ServingApp:
     plus the missing shard list.  ``worker_options`` passes resilience
     tuning (``call_timeout``, ``retry``, ``breaker_threshold``, ...,
     ``faults``) through to :class:`WorkerShardedQueryEngine`.
+
+    ``dtype`` pins the server to one factor precision (``"float64"`` or
+    ``"float32"``): a model whose sidecar records a different dtype is
+    refused with a 409 instead of silently served — deploys that assume
+    one precision's bytes must not mix in another's.  ``None`` (default)
+    serves every model at its recorded precision.
     """
 
     def __init__(self, store: Union[ModelStore, str], max_batch: int = 64,
@@ -154,13 +160,18 @@ class ServingApp:
                  workers: bool = False,
                  request_timeout: Optional[float] = None,
                  degraded: str = "fail",
-                 worker_options: Optional[Dict[str, object]] = None):
+                 worker_options: Optional[Dict[str, object]] = None,
+                 dtype: Optional[str] = None):
         if degraded not in ("fail", "partial"):
             raise ValueError(
                 f"degraded policy must be 'fail' or 'partial', got {degraded!r}")
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError(
                 f"request_timeout must be positive, got {request_timeout}")
+        if dtype is not None and dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype pin must be 'float32' or 'float64', got {dtype!r}")
+        self.dtype = dtype
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
         self.kernel = get_kernel(kernel)
         self.max_batch = max_batch
@@ -237,12 +248,19 @@ class ServingApp:
                 cached = self._engines.get(name)
             if cached is not None and cached[0] == version:
                 return cached[1]
+            if self.dtype is not None and record.dtype != self.dtype:
+                raise RequestError(
+                    f"model {name!r} is stored as {record.dtype} but this "
+                    f"server is pinned to {self.dtype}", status=409)
+            worker_options = dict(self.worker_options)
+            if self.dtype is not None:
+                worker_options.setdefault("dtype", self.dtype)
             try:
                 if record.shards is not None and self.workers:
                     engine: EngineLike = WorkerShardedQueryEngine(
                         ShardedModelStore(self.store.directory), name,
                         kernel=self.kernel, degraded=self.degraded,
-                        **self.worker_options)
+                        **worker_options)
                 elif record.shards is not None:
                     shards, manifest = ShardedModelStore(
                         self.store.directory).load_shards(name)
@@ -615,6 +633,7 @@ def create_server(
     request_timeout: Optional[float] = None,
     degraded: str = "fail",
     worker_options: Optional[Dict[str, object]] = None,
+    dtype: Optional[str] = None,
 ) -> ServingHTTPServer:
     """Build a ready-to-run threading HTTP server over a model store.
 
@@ -640,6 +659,9 @@ def create_server(
         Serve sharded models through one worker process per shard.
     request_timeout, degraded, worker_options:
         Fault-tolerance policy; see :class:`ServingApp`.
+    dtype:
+        Pin the server to one factor precision; models of any other
+        recorded dtype are refused with a 409 (see :class:`ServingApp`).
 
     Call ``serve_forever()`` to run; each connection is handled on its own
     thread, and concurrent single-row queries are micro-batched.
@@ -652,6 +674,7 @@ def create_server(
                             kernel=kernel, workers=workers,
                             request_timeout=request_timeout,
                             degraded=degraded,
-                            worker_options=worker_options)  # type: ignore[attr-defined]
+                            worker_options=worker_options,
+                            dtype=dtype)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     return server

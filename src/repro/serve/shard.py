@@ -342,6 +342,7 @@ class ShardedModelStore(ModelStore):
             created_at=time.time(),
             shards=n_shards,
             generation=generation,
+            dtype=decomposition.dtype.name,
         )
         payload = record.to_dict()
         payload["row_ranges"] = [list(row_range) for row_range in row_ranges]
@@ -500,6 +501,12 @@ class ShardedModelStore(ModelStore):
             raise ModelStoreError(
                 f"shard {index} of {name!r} holds {shard.shape[0]} rows "
                 f"but the manifest assigns it rows [{start}, {stop})"
+            )
+        if shard.dtype.name != manifest.record.dtype:
+            raise ModelStoreError(
+                f"shard {index} of {name!r} holds {shard.dtype.name} factors "
+                f"but the manifest records dtype {manifest.record.dtype!r}; "
+                "refusing to mix precisions within one model"
             )
         if verify and manifest.fingerprints is not None:
             actual = repro_io.decomposition_fingerprint(shard)
@@ -822,7 +829,7 @@ class ShardedQueryEngine:
             tasks.append(lambda engine=self.engines[shard], local=local:
                          engine.scores_for_users(local))
             masks.append(mask)
-        out = np.empty((flat.size, self.n_items), dtype=float)
+        out = np.empty((flat.size, self.n_items), dtype=self.item_map.dtype)
         for mask, block in zip(masks, self._run(tasks)):
             out[mask] = block
         return out

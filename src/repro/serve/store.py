@@ -67,8 +67,13 @@ class ModelRecord:
     generation-versioned paths (``<name>.shard-NN-<gen>.npz``) and bump the
     number on every reshard, so a republish never overwrites the files a
     concurrent reader is loading.  ``None`` means the legacy unversioned
-    layout (and always accompanies ``shards=None``).  Single-file sidecars
-    stay byte-compatible with earlier releases (the keys are simply absent).
+    layout (and always accompanies ``shards=None``).  ``dtype`` names the
+    endpoint dtype of the factors (``"float64"`` unless the model was fitted
+    under a low-precision policy) and is verified against the actual factor
+    arrays on load, so a float32 model can never be served as float64 (or
+    vice versa) by editing the sidecar.  Sidecars of float64 single-file
+    models stay byte-compatible with earlier releases (the optional keys are
+    simply absent).
     """
 
     name: str
@@ -80,6 +85,7 @@ class ModelRecord:
     created_at: float
     shards: Optional[int] = None
     generation: Optional[int] = None
+    dtype: str = "float64"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the sidecar and the HTTP API)."""
@@ -89,18 +95,23 @@ class ModelRecord:
             del payload["shards"]
         if self.generation is None:
             del payload["generation"]
+        if self.dtype == "float64":
+            del payload["dtype"]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ModelRecord":
-        """Inverse of :meth:`to_dict` (tolerates sidecars without ``shards``
-        or ``generation``)."""
+        """Inverse of :meth:`to_dict` (tolerates sidecars without ``shards``,
+        ``generation`` or ``dtype``)."""
         shards = payload.get("shards")
         if shards is not None and int(shards) < 1:
             raise ValueError(f"invalid shard count {shards!r}")
         generation = payload.get("generation")
         if generation is not None and int(generation) < 1:
             raise ValueError(f"invalid shard generation {generation!r}")
+        dtype = str(payload.get("dtype", "float64"))
+        if dtype not in ("float32", "float64"):
+            raise ValueError(f"invalid model dtype {dtype!r}")
         return cls(
             name=str(payload["name"]),
             method=str(payload["method"]),
@@ -112,6 +123,7 @@ class ModelRecord:
             created_at=float(payload["created_at"]),
             shards=None if shards is None else int(shards),
             generation=None if generation is None else int(generation),
+            dtype=dtype,
         )
 
 
@@ -213,6 +225,7 @@ class ModelStore:
             shape=tuple(int(n) for n in decomposition.shape),
             fingerprint=fingerprint,
             created_at=time.time(),
+            dtype=decomposition.dtype.name,
         )
         with repro_io.atomic_write(self._npz_path(name)) as tmp:
             repro_io.save_decomposition_npz(decomposition, tmp)
@@ -344,6 +357,13 @@ class ModelStore:
                 "ShardedModelStore.load_merged()"
             )
         decomposition = repro_io.load_decomposition_npz(self._npz_path(name))
+        loaded_dtype = decomposition.dtype.name
+        if loaded_dtype != record.dtype:
+            raise ModelStoreError(
+                f"model {name!r} factors are {loaded_dtype} but its sidecar "
+                f"records dtype {record.dtype!r}; the archive and metadata "
+                "disagree — republish the model"
+            )
         return decomposition, record
 
     def list(self) -> List[ModelRecord]:

@@ -103,6 +103,11 @@ from repro.serve.store import ModelStoreError
 #: generation the supervisor pinned (a reshard raced the worker start).
 EXIT_STALE_GENERATION = 3
 
+#: Worker exit status when the loaded shard's factor dtype does not match
+#: the dtype the supervisor pinned — serving would silently mix precisions
+#: (and therefore bytes) across shards, so the worker refuses to serve.
+EXIT_DTYPE_MISMATCH = 4
+
 #: Name of the environment variable carrying the connect-back auth token
 #: (environment, not argv: argv is world-readable in ``ps``).
 TOKEN_ENV = "REPRO_WORKER_TOKEN"
@@ -217,6 +222,8 @@ def _build_arg_parser() -> argparse.ArgumentParser:
                         help="supervisor's localhost connect-back port")
     parser.add_argument("--kernel", default=None,
                         help="interval-product kernel key")
+    parser.add_argument("--dtype", default="float64",
+                        help="pinned factor dtype the loaded shard must match")
     return parser
 
 
@@ -273,6 +280,14 @@ def worker_main(argv: Optional[Sequence[str]] = None) -> int:
                      "loadable: %s",
                      _generation_token(expected_generation), args.model, error)
         return EXIT_STALE_GENERATION
+    if shard.dtype.name != args.dtype:
+        # A shard of the wrong precision must never join a fleet: its
+        # scores would differ from its peers' in the last bits, silently
+        # breaking the byte-identity contract of scatter-gather serving.
+        logger.error("worker: shard %d of %r holds %s factors but the "
+                     "supervisor pinned dtype %s",
+                     args.shard, args.model, shard.dtype.name, args.dtype)
+        return EXIT_DTYPE_MISMATCH
     engine = QueryEngine(shard, kernel=args.kernel)
     row_start = manifest.row_ranges[args.shard][0]
 
@@ -374,8 +389,13 @@ def _interval_pair(arrays: Sequence[np.ndarray], op: str) -> IntervalMatrix:
             f"{op} expects a lower/upper endpoint array pair, got "
             f"{len(arrays)} arrays"
         )
-    return IntervalMatrix(np.asarray(arrays[0], dtype=float),
-                          np.asarray(arrays[1], dtype=float), check=False)
+    # npy framing preserves dtype on the wire; keep float32 frames float32
+    # so a low-precision fleet computes in its model's storage dtype.
+    lower, upper = np.asarray(arrays[0]), np.asarray(arrays[1])
+    if lower.dtype != np.float32 or upper.dtype != np.float32:
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+    return IntervalMatrix(lower, upper, check=False)
 
 
 def _k_of(header: Dict[str, object]) -> int:
@@ -479,10 +499,21 @@ class ShardWorkerSupervisor:
                  retry: Optional[RetryPolicy] = None,
                  breaker_threshold: int = 5, breaker_window: float = 30.0,
                  breaker_cooldown: float = 5.0,
-                 faults: Optional[str] = None):
+                 faults: Optional[str] = None,
+                 dtype: Optional[str] = None):
         self.directory = Path(directory)
         self.name = name
         self.manifest = manifest
+        #: ``dtype`` pins the fleet's factor precision: a supervisor pinned
+        #: to float64 refuses to serve a float32 model (and vice versa)
+        #: instead of silently serving different bytes than the caller
+        #: deployed against.  ``None`` serves whatever the manifest records.
+        if dtype is not None and dtype != manifest.record.dtype:
+            raise WorkerError(
+                f"cannot serve {name!r}: supervisor pinned to dtype "
+                f"{dtype!r} but the manifest records "
+                f"{manifest.record.dtype!r}")
+        self.dtype = manifest.record.dtype
         self.kernel_key = get_kernel(kernel).key
         self.monitor_interval = monitor_interval
         if call_timeout <= 0:
@@ -559,6 +590,7 @@ class ShardWorkerSupervisor:
             _generation_token(self.manifest.record.generation),
             "--connect-port", str(self._port),
             "--kernel", self.kernel_key,
+            "--dtype", self.dtype,
         ]
         environment = dict(os.environ)
         environment[TOKEN_ENV] = self._token
@@ -601,11 +633,14 @@ class ShardWorkerSupervisor:
                     f"connect back within {SPAWN_TIMEOUT:.0f}s"
                 )
             if process.poll() is not None:
+                cause = ""
+                if process.returncode == EXIT_STALE_GENERATION:
+                    cause = " (stale manifest generation)"
+                elif process.returncode == EXIT_DTYPE_MISMATCH:
+                    cause = " (shard dtype does not match the pinned dtype)"
                 raise WorkerError(
                     f"worker for shard {shard} of {self.name!r} exited with "
-                    f"status {process.returncode} before connecting"
-                    + (" (stale manifest generation)"
-                       if process.returncode == EXIT_STALE_GENERATION else "")
+                    f"status {process.returncode} before connecting" + cause
                 )
             self._listener.settimeout(min(remaining, 0.2))
             try:
@@ -997,7 +1032,8 @@ class WorkerShardedQueryEngine:
                  breaker_threshold: int = 5, breaker_window: float = 30.0,
                  breaker_cooldown: float = 5.0,
                  degraded: str = "fail",
-                 faults: Optional[str] = None):
+                 faults: Optional[str] = None,
+                 dtype: Optional[str] = None):
         if degraded not in ("fail", "partial"):
             raise ValueError(
                 f"degraded policy must be 'fail' or 'partial', got {degraded!r}")
@@ -1014,6 +1050,7 @@ class WorkerShardedQueryEngine:
         self.n_items = self.projector.n_items
         self.row_ranges = manifest.row_ranges
         self.generation = manifest.record.generation
+        self.dtype = manifest.record.dtype
         self.n_users = int(manifest.record.shape[0])
         self._starts = np.array([start for start, _ in self.row_ranges])
         self.supervisor = ShardWorkerSupervisor(
@@ -1021,7 +1058,8 @@ class WorkerShardedQueryEngine:
             monitor_interval=monitor_interval, call_timeout=call_timeout,
             retry=retry, breaker_threshold=breaker_threshold,
             breaker_window=breaker_window,
-            breaker_cooldown=breaker_cooldown, faults=faults)
+            breaker_cooldown=breaker_cooldown, faults=faults,
+            dtype=dtype)
         try:
             self.supervisor.start()
         except Exception:
@@ -1303,7 +1341,7 @@ class WorkerShardedQueryEngine:
                              shard, {"op": "scores_for_users"}, [local],
                              deadline=deadline)[1][0])
             masks.append(mask)
-        out = np.empty((flat.size, self.n_items), dtype=float)
+        out = np.empty((flat.size, self.n_items), dtype=self.item_map.dtype)
         for mask, block in zip(masks, self._run(tasks)):
             out[mask] = block
         return out

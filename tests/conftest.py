@@ -1,12 +1,27 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datasets.faces import make_face_dataset
 from repro.datasets.ratings import make_ratings_dataset
 from repro.interval.array import IntervalMatrix
 from repro.interval.random import random_interval_matrix
+
+# Hypothesis profiles the CI tiers select via HYPOTHESIS_PROFILE.  "ci"
+# disables the per-example deadline (shared runners spike on BLAS warm-up);
+# "derandomize" additionally pins example generation so the long-running
+# chaos / worker-smoke jobs never fail on a draw their retry can't replay.
+# Local runs keep hypothesis defaults.
+settings.register_profile(
+    "ci", deadline=None, suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "derandomize", deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,172 @@
+"""Shared hypothesis strategies and random-matrix builders for the suite.
+
+One home for the generator idioms the property tiers kept reinventing:
+bounded float draws, random dense interval-matrix pairs, integer-valued
+sparse patterns, and the brute-force product hull — all dtype-parametrized
+so the float32 precision tier (``tests/precision/``) exercises the exact
+same input families as the float64 property tests.
+
+Everything here is deterministic given its parameters: strategies draw
+*parameters* (shapes, seeds, densities) and the builders expand them with
+``np.random.default_rng(seed)``, which keeps hypothesis shrinking effective
+(a failing example is a small tuple, not a giant matrix) and failure
+reproduction trivial (the printed tuple regenerates the exact input).
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import HealthCheck
+from hypothesis import strategies as st
+
+from repro.interval.array import IntervalMatrix
+
+#: Endpoint dtypes the dtype-parametrized tiers sweep.
+DTYPES = (np.float64, np.float32)
+
+
+def common_settings(max_examples=25):
+    """The suite's shared ``@settings`` kwargs: example-count bounded, no
+    per-example deadline (BLAS warm-up spikes would flake), slow-input
+    health check suppressed (matrix builds are legitimately not instant)."""
+    return dict(
+        max_examples=max_examples,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+
+def bounded_floats(min_value=-1e3, max_value=1e3, width=64):
+    """Finite, bounded, non-subnormal float draws.
+
+    The bound keeps products and sums well inside both float32 and float64
+    range (no overflow-to-inf artifacts hiding real bugs), and excluding
+    subnormals keeps float32 arithmetic on the fast, correctly-rounded
+    path that the error budgets are calibrated for.
+    """
+    return st.floats(min_value=min_value, max_value=max_value,
+                     allow_nan=False, allow_infinity=False,
+                     allow_subnormal=False, width=width)
+
+
+#: (rows, inner, cols, seed) for a random dense interval product pair.
+interval_matrix_params = st.tuples(
+    st.integers(2, 6),       # rows
+    st.integers(2, 6),       # inner dim
+    st.integers(1, 5),       # cols
+    st.integers(0, 10_000),  # seed
+)
+
+#: Tiny shapes whose brute-force vertex hull stays enumerable.
+tiny_interval_matrix_params = st.tuples(
+    st.integers(1, 2),       # rows
+    st.integers(2, 3),       # inner dim
+    st.integers(1, 2),       # cols
+    st.integers(0, 10_000),  # seed
+)
+
+#: (rows, cols, interval intensity, seed) for one random interval matrix.
+matrix_params = st.tuples(
+    st.integers(6, 16),          # rows
+    st.integers(6, 16),          # cols
+    st.floats(0.0, 1.0),         # interval intensity
+    st.integers(0, 10_000),      # seed
+)
+
+#: (rows, cols, seed, density) for a sparse integer interval matrix.
+sparse_pair_params = st.tuples(
+    st.integers(2, 8),        # rows
+    st.integers(2, 6),        # cols
+    st.integers(0, 10_000),   # seed
+    st.floats(0.1, 0.7),      # density
+)
+
+
+def random_matrix(params, dtype=np.float64):
+    """Expand :data:`matrix_params` into one random interval matrix."""
+    from repro.interval.random import random_interval_matrix
+
+    rows, cols, intensity, seed = params
+    matrix = random_interval_matrix((rows, cols), interval_density=1.0,
+                                    interval_intensity=intensity, rng=seed)
+    if np.dtype(dtype) != matrix.dtype:
+        matrix = matrix.astype(np.dtype(dtype), outward=True)
+    return matrix
+
+
+def random_interval_pair(params, mixed_sign=True, dtype=np.float64):
+    """Expand :data:`interval_matrix_params` into a random product pair.
+
+    Returns ``(a, b, rng)`` where ``a @ b`` is well-defined and ``rng`` has
+    advanced past the draws, for follow-up sampling (Monte-Carlo members).
+    With ``mixed_sign=False`` both operands are entrywise non-negative —
+    the sign-consistent regime where ``endpoint4`` is exact.  A non-default
+    ``dtype`` rounds endpoints outward, so the narrowed pair still encloses
+    the float64 pair it was drawn as.
+    """
+    rows, inner, cols, seed = params
+    rng = np.random.default_rng(seed)
+    if mixed_sign:
+        a_lo = rng.normal(size=(rows, inner))
+        b_lo = rng.normal(size=(inner, cols))
+    else:  # guaranteed entrywise non-negative operands
+        a_lo = rng.random((rows, inner)) * 3.0
+        b_lo = rng.random((inner, cols)) * 3.0
+    a_hi = a_lo + rng.random((rows, inner)) * 2.0
+    b_hi = b_lo + rng.random((inner, cols)) * 2.0
+    a = IntervalMatrix(a_lo, a_hi)
+    b = IntervalMatrix(b_lo, b_hi)
+    if np.dtype(dtype) != a.dtype:
+        a = a.astype(np.dtype(dtype), outward=True)
+        b = b.astype(np.dtype(dtype), outward=True)
+    return a, b, rng
+
+
+def integer_interval_matrix(rng, rows, cols, density, dtype=np.float64):
+    """Random integer-valued interval matrix with ``[0, 0]`` cells elsewhere.
+
+    Integer endpoints keep every kernel product exactly representable in
+    float64 (and, at these magnitudes, in float32), so sparse/dense and
+    blocked/unblocked executions must agree to the byte — any difference
+    is a real bug, not summation-order noise.
+    """
+    mask = rng.random((rows, cols)) < density
+    lower = np.where(mask, rng.integers(-8, 9, (rows, cols)), 0).astype(dtype)
+    width = np.where(mask, rng.integers(0, 5, (rows, cols)), 0).astype(dtype)
+    return IntervalMatrix(lower, lower + width)
+
+
+def sparse_integer_pair(params, dtype=np.float64):
+    """Expand :data:`sparse_pair_params` into (dense matrix, sparse view)."""
+    from repro.interval.sparse import SparseIntervalMatrix
+
+    rows, cols, seed, density = params
+    dense = integer_interval_matrix(np.random.default_rng(seed), rows, cols,
+                                    density, dtype=dtype)
+    return dense, SparseIntervalMatrix.from_dense(dense)
+
+
+def brute_force_hull(a, b):
+    """Interval hull of ``a @ b`` by enumerating every endpoint vertex.
+
+    Valid because the product is multilinear in the entries, so its extrema
+    over the box of member matrices are attained at vertices.  Exponential in
+    the number of entries — tiny shapes only.  Vertices are enumerated (and
+    multiplied) in float64 regardless of the operands' storage dtype, so the
+    result also serves as the high-precision reference hull the float32
+    enclosure tests compare against.
+    """
+    lower = np.full((a.shape[0], b.shape[1]), np.inf)
+    upper = np.full((a.shape[0], b.shape[1]), -np.inf)
+    a_vertices = itertools.product(
+        *[(a.lower.flat[i], a.upper.flat[i]) for i in range(a.size)])
+    a_vertices = [np.array(v, dtype=float).reshape(a.shape) for v in a_vertices]
+    b_vertices = itertools.product(
+        *[(b.lower.flat[i], b.upper.flat[i]) for i in range(b.size)])
+    b_vertices = [np.array(v, dtype=float).reshape(b.shape) for v in b_vertices]
+    for am in a_vertices:
+        for bm in b_vertices:
+            product = am @ bm
+            lower = np.minimum(lower, product)
+            upper = np.maximum(upper, product)
+    return lower, upper

@@ -13,12 +13,18 @@ The load-bearing facts checked here:
 * the kernel threads end to end: isvd, reconstruct, fold-in, engine.
 """
 
-import itertools
-
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import (
+    brute_force_hull,
+    common_settings,
+    interval_matrix_params,
+    random_interval_pair,
+    tiny_interval_matrix_params,
+)
 
 from repro.core.isvd import isvd
 from repro.core.reconstruct import reconstruct, reconstruct_target_a
@@ -34,60 +40,13 @@ from repro.interval.linalg import interval_dot, interval_matmul
 from repro.interval.random import random_interval_matrix
 from repro.interval.scalar import Interval, IntervalError
 
-COMMON_SETTINGS = dict(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+COMMON_SETTINGS = common_settings(max_examples=25)
 
 #: The issue's counterexample: one interval row, one scalar column.
 COUNTER_A = IntervalMatrix([[-1.0, -1.0]], [[1.0, 1.0]])
 COUNTER_B = IntervalMatrix.from_scalar([[2.0], [-2.0]])
 
-
-def brute_force_hull(a: IntervalMatrix, b: IntervalMatrix):
-    """Interval hull of ``a @ b`` by enumerating every endpoint vertex.
-
-    Valid because the product is multilinear in the entries, so its extrema
-    over the box of member matrices are attained at vertices.  Exponential in
-    the number of entries — tiny shapes only.
-    """
-    lower = np.full((a.shape[0], b.shape[1]), np.inf)
-    upper = np.full((a.shape[0], b.shape[1]), -np.inf)
-    a_vertices = itertools.product(
-        *[(a.lower.flat[i], a.upper.flat[i]) for i in range(a.size)])
-    a_vertices = [np.array(v).reshape(a.shape) for v in a_vertices]
-    b_vertices = itertools.product(
-        *[(b.lower.flat[i], b.upper.flat[i]) for i in range(b.size)])
-    b_vertices = [np.array(v).reshape(b.shape) for v in b_vertices]
-    for am in a_vertices:
-        for bm in b_vertices:
-            product = am @ bm
-            lower = np.minimum(lower, product)
-            upper = np.maximum(upper, product)
-    return lower, upper
-
-
-interval_matrix_params = st.tuples(
-    st.integers(2, 6),       # rows
-    st.integers(2, 6),       # inner dim
-    st.integers(1, 5),       # cols
-    st.integers(0, 10_000),  # seed
-)
-
-
-def _random_pair(params, mixed_sign=True):
-    rows, inner, cols, seed = params
-    rng = np.random.default_rng(seed)
-    if mixed_sign:
-        a_lo = rng.normal(size=(rows, inner))
-        b_lo = rng.normal(size=(inner, cols))
-    else:  # guaranteed entrywise non-negative operands
-        a_lo = rng.random((rows, inner)) * 3.0
-        b_lo = rng.random((inner, cols)) * 3.0
-    a_hi = a_lo + rng.random((rows, inner)) * 2.0
-    b_hi = b_lo + rng.random((inner, cols)) * 2.0
-    return IntervalMatrix(a_lo, a_hi), IntervalMatrix(b_lo, b_hi), rng
+_random_pair = random_interval_pair
 
 
 class TestRegistry:
@@ -159,8 +118,7 @@ class TestFourEndpointEnclosureBug:
 
 class TestExactIsTheHull:
     @settings(**COMMON_SETTINGS)
-    @given(st.tuples(st.integers(1, 2), st.integers(2, 3), st.integers(1, 2),
-                     st.integers(0, 10_000)))
+    @given(tiny_interval_matrix_params)
     def test_matches_brute_force_vertex_enumeration(self, params):
         a, b, _ = _random_pair(params)
         lower, upper = brute_force_hull(a, b)

@@ -21,8 +21,15 @@ The load-bearing facts checked here:
 import numpy as np
 import pytest
 import scipy.sparse as sp
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import (
+    common_settings,
+    integer_interval_matrix,
+    sparse_integer_pair,
+    sparse_pair_params,
+)
 
 from repro.core.isvd import isvd
 from repro.interval.array import IntervalMatrix
@@ -36,42 +43,14 @@ from repro.interval.sparse import (
     is_sparse_interval,
 )
 
-COMMON_SETTINGS = dict(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+COMMON_SETTINGS = common_settings(max_examples=25)
 
 #: Kernels with a sparse execution path (the parity suite's subjects).
 SPARSE_KERNELS = ("endpoint4", "rump")
 
+pair_params = sparse_pair_params
 
-def integer_interval_matrix(rng: np.random.Generator, rows: int, cols: int,
-                            density: float) -> IntervalMatrix:
-    """Random integer-valued interval matrix with ``[0, 0]`` cells elsewhere.
-
-    Integer endpoints keep every kernel product exactly representable in
-    float64, so sparse/dense and blocked/unblocked executions must agree to
-    the byte — any difference is a real bug, not summation-order noise.
-    """
-    mask = rng.random((rows, cols)) < density
-    lower = np.where(mask, rng.integers(-8, 9, (rows, cols)), 0).astype(float)
-    width = np.where(mask, rng.integers(0, 5, (rows, cols)), 0).astype(float)
-    return IntervalMatrix(lower, lower + width)
-
-
-pair_params = st.tuples(
-    st.integers(2, 8),        # rows
-    st.integers(2, 6),        # cols
-    st.integers(0, 10_000),   # seed
-    st.floats(0.1, 0.7),      # density
-)
-
-
-def _pair(params):
-    rows, cols, seed, density = params
-    dense = integer_interval_matrix(np.random.default_rng(seed), rows, cols, density)
-    return dense, SparseIntervalMatrix.from_dense(dense)
+_pair = sparse_integer_pair
 
 
 def _bytes_equal(sparse_result, dense_result) -> bool:

@@ -8,8 +8,10 @@ the accuracy measure) rather than specific numeric values.
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies import common_settings, matrix_params, random_matrix
 
 from repro.core.accuracy import harmonic_mean_accuracy, reconstruction_accuracy
 from repro.core.ilsa import ilsa
@@ -19,25 +21,9 @@ from repro.interval.array import IntervalMatrix
 from repro.interval.linalg import average_replacement_matrix, interval_matmul
 from repro.interval.random import random_interval_matrix
 
-COMMON_SETTINGS = dict(
-    max_examples=20,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+COMMON_SETTINGS = common_settings(max_examples=20)
 
-
-matrix_params = st.tuples(
-    st.integers(6, 16),          # rows
-    st.integers(6, 16),          # cols
-    st.floats(0.0, 1.0),         # interval intensity
-    st.integers(0, 10_000),      # seed
-)
-
-
-def _matrix_from(params):
-    rows, cols, intensity, seed = params
-    return random_interval_matrix((rows, cols), interval_density=1.0,
-                                  interval_intensity=intensity, rng=seed)
+_matrix_from = random_matrix
 
 
 class TestDecompositionInvariants:
